@@ -1,0 +1,32 @@
+"""Section 6.2.3: the implementation proof.
+
+Paper: 306 VCs, 86.6% discharged automatically, 15 of 25 functions fully
+automatic, the remainder discharged interactively with short scripts, max
+VC needing human intervention 126 lines.  We assert the same shape: a
+large majority automatic, the rest closed by scripts, none undischarged.
+"""
+
+from repro.harness.tables import implementation_proof_stats
+
+
+def bench_implementation_proof(benchmark):
+    result = benchmark.pedantic(implementation_proof_stats,
+                                rounds=1, iterations=1)
+    subprograms = {o.vc.subprogram for o in result.outcomes}
+    auto_sps = result.fully_automatic_subprograms()
+    print()
+    print(f"total VCs {result.total_vcs}; automatic "
+          f"{result.auto_discharged} ({result.auto_percent:.1f}%); "
+          f"interactive {result.interactive_discharged}; "
+          f"undischarged {len(result.undischarged)}")
+    print(f"fully automatic subprograms: {len(auto_sps)}/{len(subprograms)} "
+          f"(paper: 15/25)")
+    print(f"max interactive VC length: "
+          f"{result.max_interactive_vc_lines} lines (paper: 126)")
+
+    assert result.feasible
+    assert result.total_vcs > 250            # paper: 306
+    assert 80.0 <= result.auto_percent < 100.0   # paper: 86.6%
+    assert result.interactive_discharged > 0
+    assert not result.undischarged
+    assert len(auto_sps) >= len(subprograms) // 2

@@ -1,0 +1,21 @@
+"""Table 2: defect detection for setup 1 (annotations describe the code).
+
+Paper: of 15 seeded defects, 4 caught during verification refactoring,
+2 during the implementation proof (exception freedom), 8 during the
+implication proof, 1 (benign) left.
+"""
+
+from repro.defects import curated_defects, run_experiment, stage_table
+from repro.harness.tables import render_defect_table
+
+
+def bench_table2_setup1(benchmark):
+    outcomes = benchmark.pedantic(
+        lambda: run_experiment(setups=(1,)), rounds=1, iterations=1)
+    rows = stage_table(outcomes[1])
+    print()
+    print(render_defect_table(1, rows))
+    assert rows == {"refactoring": 4, "implementation": 2,
+                    "implication": 8, "left": 1}
+    benign = [o for o in outcomes[1] if o.stage == "not caught"]
+    assert len(benign) == 1 and benign[0].defect.benign

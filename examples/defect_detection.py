@@ -1,0 +1,29 @@
+"""Seeded-defect detection (paper section 7) on a sample of the curated
+defect set: where in the Echo process does each defect surface?
+
+Run:  python examples/defect_detection.py
+"""
+
+from repro.defects import curated_defects, run_defect
+
+
+def main():
+    defects = curated_defects()
+    # One defect per detection stage: refactoring-caught, exception-freedom
+    # (implementation proof), functional (implication proof), and the
+    # benign one.
+    sample_names = {"D02-index-round-key", "D06-index-shift-rows",
+                    "D11-reference-sbox", "D15-statement-key-array-length"}
+    for defect in defects:
+        if defect.name not in sample_names:
+            continue
+        print(f"{defect.name} ({defect.kind}): {defect.description}")
+        for setup in (1, 2):
+            outcome = run_defect(defect, setup)
+            print(f"  setup {setup}: caught at {outcome.stage!r}"
+                  + (f" -- {outcome.detail[:90]}" if outcome.detail else ""))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) in
+offline environments where the `wheel` package is unavailable."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""The AES case study (paper section 6): FIPS-197 theory, the optimized
+T-table implementation, the 14-block refactoring pipeline, annotations and
+proof scripts."""
+
+from . import gf
+from .annotations import annotated_package, build_annotated
+from .blocks import AESPipeline, BLOCK_TITLES, cipher_sampler, \
+    transformation_blocks
+from .fips197 import fips197_source, fips197_theory, validate_against_vectors
+from .optimized import optimized_package, optimized_source, validate_optimized
+from .proof_scripts import aes_proof_scripts
+from .refactored import refactored_package, refactored_source, \
+    validate_refactored
+from .vectors import APPENDIX_B, FIPS197_VECTORS, AESVector
+
+__all__ = [
+    "gf", "fips197_theory", "fips197_source", "validate_against_vectors",
+    "optimized_package", "optimized_source", "validate_optimized",
+    "refactored_package", "refactored_source", "validate_refactored",
+    "annotated_package", "build_annotated", "aes_proof_scripts",
+    "AESPipeline", "transformation_blocks", "cipher_sampler", "BLOCK_TITLES",
+    "AESVector", "FIPS197_VECTORS", "APPENDIX_B",
+]

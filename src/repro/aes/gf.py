@@ -1,0 +1,150 @@
+"""GF(2^8) arithmetic and AES table generation (first principles).
+
+Everything downstream -- the optimized implementation's T-tables, the
+FIPS-197 specification's S-boxes, and the reverse-table-lookup
+transformations -- derives from this module, so the reproduction carries no
+opaque magic tables: ``sbox()`` is computed from the multiplicative inverse
+and the affine transform exactly as FIPS-197 section 5.1.1 defines it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+__all__ = [
+    "xtime", "gmul", "ginv", "sbox", "inv_sbox", "rcon_words",
+    "te_tables", "td_tables", "te4", "td4", "rotr32",
+]
+
+_AES_POLY = 0x11B  # x^8 + x^4 + x^3 + x + 1
+
+
+def xtime(b: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    b <<= 1
+    if b & 0x100:
+        b ^= _AES_POLY
+    return b & 0xFF
+
+
+def gmul(a: int, b: int) -> int:
+    """Carry-less multiply modulo the AES polynomial."""
+    result = 0
+    a &= 0xFF
+    b &= 0xFF
+    while b:
+        if b & 1:
+            result ^= a
+        a = xtime(a)
+        b >>= 1
+    return result
+
+
+def ginv(a: int) -> int:
+    """Multiplicative inverse in GF(2^8) (0 maps to 0, per FIPS-197)."""
+    if a == 0:
+        return 0
+    # a^254 = a^-1 in GF(2^8)*
+    result = 1
+    base = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = gmul(result, base)
+        base = gmul(base, base)
+        exponent >>= 1
+    return result
+
+
+@lru_cache(maxsize=None)
+def sbox() -> Tuple[int, ...]:
+    """The AES S-box: affine transform of the multiplicative inverse."""
+    out: List[int] = []
+    for x in range(256):
+        b = ginv(x)
+        y = 0
+        for bit in range(8):
+            v = ((b >> bit) & 1) ^ ((b >> ((bit + 4) % 8)) & 1) \
+                ^ ((b >> ((bit + 5) % 8)) & 1) ^ ((b >> ((bit + 6) % 8)) & 1) \
+                ^ ((b >> ((bit + 7) % 8)) & 1) ^ ((0x63 >> bit) & 1)
+            y |= v << bit
+        out.append(y)
+    return tuple(out)
+
+
+@lru_cache(maxsize=None)
+def inv_sbox() -> Tuple[int, ...]:
+    forward = sbox()
+    out = [0] * 256
+    for x, y in enumerate(forward):
+        out[y] = x
+    return tuple(out)
+
+
+def rotr32(w: int, n: int) -> int:
+    """32-bit rotate right."""
+    n %= 32
+    return ((w >> n) | (w << (32 - n))) & 0xFFFFFFFF
+
+
+@lru_cache(maxsize=None)
+def te_tables() -> Tuple[Tuple[int, ...], ...]:
+    """Te0..Te3: the encryption T-tables of the optimized implementation.
+
+    ``Te0[x]`` packs the MixColumns column of ``S[x]``:
+    ``(2*S <<24) | (S <<16) | (S <<8) | 3*S``; Te1..Te3 are byte rotations.
+    """
+    s = sbox()
+    te0 = []
+    for x in range(256):
+        v = s[x]
+        word = (gmul(v, 2) << 24) | (v << 16) | (v << 8) | gmul(v, 3)
+        te0.append(word)
+    te0 = tuple(te0)
+    return (te0,
+            tuple(rotr32(w, 8) for w in te0),
+            tuple(rotr32(w, 16) for w in te0),
+            tuple(rotr32(w, 24) for w in te0))
+
+
+@lru_cache(maxsize=None)
+def td_tables() -> Tuple[Tuple[int, ...], ...]:
+    """Td0..Td3: the decryption T-tables (InvMixColumns over InvSbox)."""
+    si = inv_sbox()
+    td0 = []
+    for x in range(256):
+        v = si[x]
+        word = (gmul(v, 14) << 24) | (gmul(v, 9) << 16) \
+            | (gmul(v, 13) << 8) | gmul(v, 11)
+        td0.append(word)
+    td0 = tuple(td0)
+    return (td0,
+            tuple(rotr32(w, 8) for w in td0),
+            tuple(rotr32(w, 16) for w in td0),
+            tuple(rotr32(w, 24) for w in td0))
+
+
+@lru_cache(maxsize=None)
+def te4() -> Tuple[int, ...]:
+    """Te4[x] = S[x] replicated into all four bytes (final round / key
+    schedule table of the optimized implementation)."""
+    s = sbox()
+    return tuple(v * 0x01010101 for v in s)
+
+
+@lru_cache(maxsize=None)
+def td4() -> Tuple[int, ...]:
+    si = inv_sbox()
+    return tuple(v * 0x01010101 for v in si)
+
+
+@lru_cache(maxsize=None)
+def rcon_words() -> Tuple[int, ...]:
+    """Round constants as words: x^i in the top byte (10 entries)."""
+    out = []
+    v = 1
+    for _ in range(10):
+        out.append(v << 24)
+        v = xtime(v)
+    return tuple(out)

@@ -1,0 +1,378 @@
+"""The fully refactored AES implementation.
+
+This is the program the 14 transformation blocks converge to: byte-level
+state matching the FIPS-197 State, one function per specification element
+(SubBytes/ShiftRows/MixColumns/AddRoundKey and inverses, RotWord/SubWord/
+XorWords/RconWord, per-variant key schedules and ciphers), tables reduced
+to the S-boxes, and the straightforward inverse cipher in place of the
+optimized equivalent inverse.
+
+The observable interface (``Cipher``/``Inv_Cipher``) is unchanged from the
+optimized program, which is what the per-block semantics-preservation
+theorems quantify over.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..lang import Interpreter, TypedPackage, analyze, parse_package
+from . import gf
+from .vectors import FIPS197_VECTORS
+
+__all__ = ["refactored_source", "refactored_package", "validate_refactored"]
+
+
+def _byte_table(name: str, values) -> str:
+    entries = ", ".join(str(v) for v in values)
+    return f"   {name} : constant Byte_Table := ({entries});\n"
+
+
+def _key_schedule(bits: int, nk: int, words: int) -> str:
+    """Per-variant key schedule over Word_Bytes, mirroring FIPS 5.2."""
+    schedule_type = f"Schedule{words}"
+    key_type = f"Key{nk * 4}"
+    extra = ""
+    if nk == 8:
+        extra = """         elsif I mod 8 = 4 then
+            W (I) := Xor_Words (W (I - 8), Sub_Word (W (I - 1)));
+"""
+    return f"""   function Key_Schedule_{bits} (Key : in {key_type}) return {schedule_type}
+   is
+      W : {schedule_type};
+   begin
+      for I in 0 .. {nk - 1} loop
+         for J in 0 .. 3 loop
+            W (I) (J) := Key (4 * I + J);
+         end loop;
+      end loop;
+      for I in {nk} .. {words - 1} loop
+         if I mod {nk} = 0 then
+            W (I) := Xor_Words (W (I - {nk}),
+               Xor_Words (Sub_Word (Rot_Word (W (I - 1))),
+                          Rcon_Word (I / {nk} - 1)));
+{extra}         else
+            W (I) := Xor_Words (W (I - {nk}), W (I - 1));
+         end if;
+      end loop;
+      return W;
+   end Key_Schedule_{bits};
+"""
+
+
+def _round_key(bits: int, nk: int, words: int, max_round: int) -> str:
+    return f"""   function Round_Key_{bits} (Key : in Key{nk * 4}; R : in Integer) return State
+   --# pre R >= 0 and R <= {max_round};
+   is
+      W : Schedule{words};
+      K : State;
+   begin
+      W := Key_Schedule_{bits} (Key);
+      for I in 0 .. 15 loop
+         K (I) := W (4 * R + I / 4) (I mod 4);
+      end loop;
+      return K;
+   end Round_Key_{bits};
+"""
+
+
+def _aes_variant(bits: int, nk: int, rounds: int) -> str:
+    return f"""   function AES{bits} (Key : in Key{nk * 4}; Input : in State) return State
+   is
+      S : State;
+   begin
+      S := Add_Round_Key (Input, Round_Key_{bits} (Key, 0));
+      for R in 1 .. {rounds - 1} loop
+         S := Round (S, Round_Key_{bits} (Key, R));
+      end loop;
+      return Final_Round (S, Round_Key_{bits} (Key, {rounds}));
+   end AES{bits};
+
+   function Inv_AES{bits} (Key : in Key{nk * 4}; Input : in State) return State
+   is
+      S : State;
+   begin
+      S := Add_Round_Key (Input, Round_Key_{bits} (Key, {rounds}));
+      for R in reverse 1 .. {rounds - 1} loop
+         S := Inv_Round (S, Round_Key_{bits} (Key, R));
+      end loop;
+      return Inv_Final_Round (S, Round_Key_{bits} (Key, 0));
+   end Inv_AES{bits};
+"""
+
+
+def _dispatch(name: str, fn_prefix: str) -> str:
+    branches = []
+    for nk, bits in ((4, 128), (6, 192), (8, 256)):
+        size = nk * 4
+        branches.append(f"""      {"if" if nk == 4 else "elsif"} Nk = {nk} then
+         for I in 0 .. {size - 1} loop
+            K{size} (I) := Key (I);
+         end loop;
+         Output := {fn_prefix}{bits} (K{size}, Input);""")
+    joined = "\n".join(branches)
+    return f"""   procedure {name} (Key : in Key_Bytes; Nk : in Key_Length;
+                     Input : in State; Output : out State) is
+      K16 : Key16;
+      K24 : Key24;
+      K32 : Key32;
+   begin
+{joined}
+      end if;
+   end {name};
+"""
+
+
+@lru_cache(maxsize=None)
+def refactored_source() -> str:
+    rcon_bytes = [w >> 24 for w in gf.rcon_words()]
+    return f"""package AES_Impl is
+
+   type Byte is mod 256;
+   subtype Key_Length is Integer range 4 .. 8;
+   type State is array (0 .. 15) of Byte;
+   type Word_Bytes is array (0 .. 3) of Byte;
+   type Key_Bytes is array (0 .. 31) of Byte;
+   type Key16 is array (0 .. 15) of Byte;
+   type Key24 is array (0 .. 23) of Byte;
+   type Key32 is array (0 .. 31) of Byte;
+   type Byte_Table is array (0 .. 255) of Byte;
+   type Rcon_Bytes is array (0 .. 9) of Byte;
+   type Schedule44 is array (0 .. 43) of Word_Bytes;
+   type Schedule52 is array (0 .. 51) of Word_Bytes;
+   type Schedule60 is array (0 .. 59) of Word_Bytes;
+
+{_byte_table("Sbox", gf.sbox())}
+{_byte_table("Inv_Sbox", gf.inv_sbox())}
+   Rcon : constant Rcon_Bytes := ({", ".join(str(v) for v in rcon_bytes)});
+
+   function X_Time (B : in Byte) return Byte
+   is
+   begin
+      if B < 128 then
+         return B + B;
+      end if;
+      return (B + B) xor 27;
+   end X_Time;
+
+   function GF_Mul2 (B : in Byte) return Byte
+   is
+   begin
+      return X_Time (B);
+   end GF_Mul2;
+
+   function GF_Mul3 (B : in Byte) return Byte
+   is
+   begin
+      return X_Time (B) xor B;
+   end GF_Mul3;
+
+   function GF_Mul9 (B : in Byte) return Byte
+   is
+   begin
+      return X_Time (X_Time (X_Time (B))) xor B;
+   end GF_Mul9;
+
+   function GF_Mul11 (B : in Byte) return Byte
+   is
+   begin
+      return X_Time (X_Time (X_Time (B))) xor (X_Time (B) xor B);
+   end GF_Mul11;
+
+   function GF_Mul13 (B : in Byte) return Byte
+   is
+   begin
+      return X_Time (X_Time (X_Time (B))) xor (X_Time (X_Time (B)) xor B);
+   end GF_Mul13;
+
+   function GF_Mul14 (B : in Byte) return Byte
+   is
+   begin
+      return X_Time (X_Time (X_Time (B))) xor
+             (X_Time (X_Time (B)) xor X_Time (B));
+   end GF_Mul14;
+
+   function Sub_Bytes (S : in State) return State
+   is
+      R : State;
+   begin
+      for I in 0 .. 15 loop
+         R (I) := Sbox (Integer (S (I)));
+      end loop;
+      return R;
+   end Sub_Bytes;
+
+   function Inv_Sub_Bytes (S : in State) return State
+   is
+      R : State;
+   begin
+      for I in 0 .. 15 loop
+         R (I) := Inv_Sbox (Integer (S (I)));
+      end loop;
+      return R;
+   end Inv_Sub_Bytes;
+
+   function Shift_Rows (S : in State) return State
+   is
+      R : State;
+   begin
+      for I in 0 .. 15 loop
+         R (I) := S (4 * ((I / 4 + I mod 4) mod 4) + I mod 4);
+      end loop;
+      return R;
+   end Shift_Rows;
+
+   function Inv_Shift_Rows (S : in State) return State
+   is
+      R : State;
+   begin
+      for I in 0 .. 15 loop
+         R (I) := S (4 * ((I / 4 + 4 - I mod 4) mod 4) + I mod 4);
+      end loop;
+      return R;
+   end Inv_Shift_Rows;
+
+   function Mix_Columns (S : in State) return State
+   is
+      R : State;
+   begin
+      for C in 0 .. 3 loop
+         R (4 * C) := GF_Mul2 (S (4 * C)) xor GF_Mul3 (S (4 * C + 1)) xor
+                      (S (4 * C + 2) xor S (4 * C + 3));
+         R (4 * C + 1) := S (4 * C) xor GF_Mul2 (S (4 * C + 1)) xor
+                          (GF_Mul3 (S (4 * C + 2)) xor S (4 * C + 3));
+         R (4 * C + 2) := S (4 * C) xor S (4 * C + 1) xor
+                          (GF_Mul2 (S (4 * C + 2)) xor GF_Mul3 (S (4 * C + 3)));
+         R (4 * C + 3) := GF_Mul3 (S (4 * C)) xor S (4 * C + 1) xor
+                          (S (4 * C + 2) xor GF_Mul2 (S (4 * C + 3)));
+      end loop;
+      return R;
+   end Mix_Columns;
+
+   function Inv_Mix_Columns (S : in State) return State
+   is
+      R : State;
+   begin
+      for C in 0 .. 3 loop
+         R (4 * C) := GF_Mul14 (S (4 * C)) xor GF_Mul11 (S (4 * C + 1)) xor
+                      (GF_Mul13 (S (4 * C + 2)) xor GF_Mul9 (S (4 * C + 3)));
+         R (4 * C + 1) := GF_Mul9 (S (4 * C)) xor GF_Mul14 (S (4 * C + 1)) xor
+                          (GF_Mul11 (S (4 * C + 2)) xor GF_Mul13 (S (4 * C + 3)));
+         R (4 * C + 2) := GF_Mul13 (S (4 * C)) xor GF_Mul9 (S (4 * C + 1)) xor
+                          (GF_Mul14 (S (4 * C + 2)) xor GF_Mul11 (S (4 * C + 3)));
+         R (4 * C + 3) := GF_Mul11 (S (4 * C)) xor GF_Mul13 (S (4 * C + 1)) xor
+                          (GF_Mul9 (S (4 * C + 2)) xor GF_Mul14 (S (4 * C + 3)));
+      end loop;
+      return R;
+   end Inv_Mix_Columns;
+
+   function Add_Round_Key (S : in State; K : in State) return State
+   is
+      R : State;
+   begin
+      for I in 0 .. 15 loop
+         R (I) := S (I) xor K (I);
+      end loop;
+      return R;
+   end Add_Round_Key;
+
+   function Round (S : in State; K : in State) return State
+   is
+   begin
+      return Add_Round_Key (Mix_Columns (Shift_Rows (Sub_Bytes (S))), K);
+   end Round;
+
+   function Final_Round (S : in State; K : in State) return State
+   is
+   begin
+      return Add_Round_Key (Shift_Rows (Sub_Bytes (S)), K);
+   end Final_Round;
+
+   function Inv_Round (S : in State; K : in State) return State
+   is
+   begin
+      return Inv_Mix_Columns (Add_Round_Key (Inv_Shift_Rows (Inv_Sub_Bytes (S)), K));
+   end Inv_Round;
+
+   function Inv_Final_Round (S : in State; K : in State) return State
+   is
+   begin
+      return Add_Round_Key (Inv_Shift_Rows (Inv_Sub_Bytes (S)), K);
+   end Inv_Final_Round;
+
+   function Rot_Word (W : in Word_Bytes) return Word_Bytes
+   is
+      R : Word_Bytes;
+   begin
+      for I in 0 .. 3 loop
+         R (I) := W ((I + 1) mod 4);
+      end loop;
+      return R;
+   end Rot_Word;
+
+   function Sub_Word (W : in Word_Bytes) return Word_Bytes
+   is
+      R : Word_Bytes;
+   begin
+      for I in 0 .. 3 loop
+         R (I) := Sbox (Integer (W (I)));
+      end loop;
+      return R;
+   end Sub_Word;
+
+   function Xor_Words (A : in Word_Bytes; B : in Word_Bytes) return Word_Bytes
+   is
+      R : Word_Bytes;
+   begin
+      for I in 0 .. 3 loop
+         R (I) := A (I) xor B (I);
+      end loop;
+      return R;
+   end Xor_Words;
+
+   function Rcon_Word (R : in Integer) return Word_Bytes
+   --# pre R >= 0 and R <= 9;
+   is
+      W : Word_Bytes;
+   begin
+      W (0) := Rcon (R);
+      for I in 1 .. 3 loop
+         W (I) := 0;
+      end loop;
+      return W;
+   end Rcon_Word;
+
+{_key_schedule(128, 4, 44)}
+{_key_schedule(192, 6, 52)}
+{_key_schedule(256, 8, 60)}
+{_round_key(128, 4, 44, 10)}
+{_round_key(192, 6, 52, 12)}
+{_round_key(256, 8, 60, 14)}
+{_aes_variant(128, 4, 10)}
+{_aes_variant(192, 6, 12)}
+{_aes_variant(256, 8, 14)}
+{_dispatch("Cipher", "AES")}
+{_dispatch("Inv_Cipher", "Inv_AES")}
+end AES_Impl;
+"""
+
+
+@lru_cache(maxsize=None)
+def refactored_package() -> TypedPackage:
+    return analyze(parse_package(refactored_source()))
+
+
+def validate_refactored(typed: TypedPackage = None) -> bool:
+    typed = typed or refactored_package()
+    interp = Interpreter(typed)
+    for vector in FIPS197_VECTORS:
+        padded = list(vector.key) + [0] * (32 - len(vector.key))
+        out = interp.call_procedure(
+            "Cipher", [padded, vector.nk, list(vector.plaintext), None])
+        if tuple(out["Output"]) != vector.ciphertext:
+            raise AssertionError(f"{vector.name}: encrypt mismatch")
+        back = interp.call_procedure(
+            "Inv_Cipher", [padded, vector.nk, list(vector.ciphertext), None])
+        if tuple(back["Output"]) != vector.plaintext:
+            raise AssertionError(f"{vector.name}: decrypt mismatch")
+    return True

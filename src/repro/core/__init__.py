@@ -1,0 +1,8 @@
+"""Echo: the paper's verification approach, end to end."""
+
+from .pipeline import EchoVerifier, verify_aes
+from .process import MetricsGate, RefactoringProcess
+from .results import EchoResult
+
+__all__ = ["EchoVerifier", "verify_aes", "EchoResult", "MetricsGate",
+           "RefactoringProcess"]

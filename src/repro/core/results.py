@@ -1,0 +1,57 @@
+"""Typed result records for the full Echo verification run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..extract import MatchRatio
+from ..implication import ImplicationResult
+from ..prover import ImplementationProofResult
+from ..refactor import Application
+
+__all__ = ["EchoResult"]
+
+
+@dataclass
+class EchoResult:
+    """Everything a full Echo run produces: the verification argument's
+    three legs (per-transformation preservation theorems, implementation
+    proof, implication proof) plus the extracted artifacts."""
+
+    applications: List[Application]
+    implementation: ImplementationProofResult
+    implication: ImplicationResult
+    match: MatchRatio
+    extracted_lines: int
+    refactored_lines: int
+
+    @property
+    def refactoring_preserved(self) -> bool:
+        return all(a.preserved for a in self.applications)
+
+    @property
+    def verified(self) -> bool:
+        """The complete Echo verification argument (section 3): every
+        transformation preserved semantics, the code implements its
+        low-level specification, and the extracted specification implies
+        the original one."""
+        return (self.refactoring_preserved
+                and self.implementation.all_proved
+                and self.implication.holds)
+
+    def summary(self) -> str:
+        impl = self.implementation
+        return "\n".join([
+            f"transformations applied      {len(self.applications)} "
+            f"(all preserved: {self.refactoring_preserved})",
+            f"implementation proof         {impl.total_vcs} VCs, "
+            f"{impl.auto_percent:.1f}% automatic, "
+            f"{impl.interactive_discharged} interactive, "
+            f"{len(impl.undischarged)} undischarged",
+            f"spec structure match         {self.match.percent:.1f}%",
+            f"implication proof            {self.implication.lemma_count} "
+            f"lemmas, holds: {self.implication.holds} "
+            f"(proof strength: {self.implication.is_proof})",
+            f"VERIFIED: {self.verified}",
+        ])

@@ -1,0 +1,14 @@
+"""The seeded-defect experiment (paper section 7)."""
+
+from .curated import curated_defects
+from .seeder import SeededMutation, random_mutation
+from .experiment import (
+    DefectOutcome, STAGES, run_defect, run_experiment, stage_table,
+)
+from .types import DEFECT_KINDS, Defect
+
+__all__ = [
+    "Defect", "DEFECT_KINDS", "curated_defects",
+    "SeededMutation", "random_mutation",
+    "DefectOutcome", "run_defect", "run_experiment", "stage_table", "STAGES",
+]

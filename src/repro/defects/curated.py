@@ -1,0 +1,217 @@
+"""The curated 15-defect set (3 per category) for tables 2 and 3.
+
+The sites mirror the paper's experiment: four defects land in optimized
+code whose regular structure the refactoring's mechanical pattern matching
+depends on (one corrupts a T-table entry, failing the reverse-table-lookup
+proof; three corrupt a single unrolled round, making re-rolling
+inapplicable); two produce out-of-bounds indices (caught by exception
+freedom in the implementation proof regardless of annotation setup, as in
+the paper); one is the paper's benign defect (a key array sized for the
+maximum key length whose extra entries are never read); the rest corrupt
+functional behaviour that only the implication proof (setup 1) or the
+annotation mismatch (setup 2) can expose.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..aes import gf
+from .types import Defect
+
+__all__ = ["curated_defects"]
+
+
+def _te0_entry_patch():
+    value = gf.te_tables()[0][100]
+    old = f"16#{value:08X}#"
+    new = f"16#{value ^ 0x40:08X}#"
+    return ((old, new),)
+
+
+def curated_defects() -> List[Defect]:
+    return [
+        # -- caught during verification refactoring --------------------------
+        Defect(
+            name="D01-numeric-table-entry",
+            kind="numeric",
+            description="corrupted Te0[100]: the reverse-table-lookup proof "
+                        "(table = explicit computation, all 256 points) fails",
+            optimized_patch=_te0_entry_patch(),
+        ),
+        Defect(
+            name="D02-index-round-key",
+            kind="index",
+            description="round 5 of the unrolled encryption reads RK(21) "
+                        "instead of RK(20): the literal sequence is no "
+                        "longer affine, re-rolling is inapplicable",
+            optimized_patch=(
+                ("xor Te3 (Integer (S3 and 255)) xor RK (20);",
+                 "xor Te3 (Integer (S3 and 255)) xor RK (21);"),),
+        ),
+        Defect(
+            name="D03-operator-shift",
+            kind="operator",
+            description="one unrolled round shifts left instead of right: "
+                        "groups no longer anti-unify",
+            optimized_patch=(
+                ("T1 := Te0 (Integer (Shift_Right (S1, 24))) xor "
+                 "Te1 (Integer (Shift_Right (S2, 16) and 255)) xor "
+                 "Te2 (Integer (Shift_Right (S3, 8) and 255)) xor "
+                 "Te3 (Integer (S0 and 255)) xor RK (29);",
+                 "T1 := Te0 (Integer (Shift_Left (S1, 24))) xor "
+                 "Te1 (Integer (Shift_Right (S2, 16) and 255)) xor "
+                 "Te2 (Integer (Shift_Right (S3, 8) and 255)) xor "
+                 "Te3 (Integer (S0 and 255)) xor RK (29);"),),
+        ),
+        Defect(
+            name="D04-reference-state-word",
+            kind="reference",
+            description="round 4 reads state word S1 where S0 belongs: the "
+                        "unrolled rounds no longer share a template",
+            optimized_patch=(
+                ("Te2 (Integer (Shift_Right (S0, 8) and 255)) xor "
+                 "Te3 (Integer (S1 and 255)) xor RK (18);",
+                 "Te2 (Integer (Shift_Right (S1, 8) and 255)) xor "
+                 "Te3 (Integer (S1 and 255)) xor RK (18);"),),
+        ),
+
+        # -- caught by exception freedom in the implementation proof ---------
+        Defect(
+            name="D05-index-round-key-offset",
+            kind="index",
+            description="Round_Key_128 gathers from word 4R + I/4 + 1: out "
+                        "of bounds at R = 10",
+            refactored_patch=(
+                ("K (I) := W (4 * R + I / 4) (I mod 4);",
+                 "K (I) := W (4 * R + I / 4 + 1) (I mod 4);"),),
+            annotation_patch=(
+                ("(4 * R + Kb / 4) (Kb mod 4)",
+                 "(4 * R + Kb / 4 + 1) (Kb mod 4)"),
+                ("W (4 * R + Kb / 4) (Kb mod 4)",
+                 "W (4 * R + Kb / 4 + 1) (Kb mod 4)"),),
+            subprograms=("Round_Key_128",),
+        ),
+        Defect(
+            name="D06-index-shift-rows",
+            kind="index",
+            description="Shift_Rows source index off by one: out of bounds "
+                        "at the last column",
+            refactored_patch=(
+                ("R (I) := S (4 * ((I / 4 + I mod 4) mod 4) + I mod 4);",
+                 "R (I) := S (4 * ((I / 4 + I mod 4) mod 4) + I mod 4 + 1);"),),
+            annotation_patch=(
+                ("S (4 * ((Kb / 4 + Kb mod 4) mod 4) + Kb mod 4)",
+                 "S (4 * ((Kb / 4 + Kb mod 4) mod 4) + Kb mod 4 + 1)"),),
+            subprograms=("Shift_Rows",),
+        ),
+
+        # -- functional defects: implication proof (setup 1) ------------------
+        Defect(
+            name="D07-numeric-xtime-polynomial",
+            kind="numeric",
+            description="X_Time reduces by the wrong polynomial (xor 29)",
+            refactored_patch=(("return (B + B) xor 27;",
+                               "return (B + B) xor 29;"),),
+            annotation_patch=(("((B + B) xor 27)", "((B + B) xor 29)"),),
+            subprograms=("X_Time",),
+        ),
+        Defect(
+            name="D08-numeric-rcon-fill",
+            kind="numeric",
+            description="Rcon_Word fills the constant word's tail bytes "
+                        "with 1 instead of 0",
+            refactored_patch=(("W (I) := 0;", "W (I) := 1;"),),
+            annotation_patch=(("(Result (Kb) = 0)", "(Result (Kb) = 1)"),
+                              ("(W (Kb) = 0)", "(W (Kb) = 1)"),),
+            subprograms=("Rcon_Word",),
+        ),
+        Defect(
+            name="D09-operator-add-round-key",
+            kind="operator",
+            description="Add_Round_Key uses 'or' instead of 'xor'",
+            refactored_patch=(("R (I) := S (I) xor K (I);",
+                               "R (I) := S (I) or K (I);"),),
+            annotation_patch=(("(S (Kb) xor K (Kb))", "(S (Kb) or K (Kb))"),),
+            subprograms=("Add_Round_Key",),
+        ),
+        Defect(
+            name="D10-operator-inv-shift-rows",
+            kind="operator",
+            description="Inv_Shift_Rows offsets rows with 'I / 4' in place "
+                        "of 'I mod 4' (stays in bounds, wrong permutation)",
+            refactored_patch=(
+                ("R (I) := S (4 * ((I / 4 + 4 - I mod 4) mod 4) + I mod 4);",
+                 "R (I) := S (4 * ((I / 4 + 4 - I / 4) mod 4) + I mod 4);"),),
+            annotation_patch=(
+                ("S (4 * ((Kb / 4 + 4 - Kb mod 4) mod 4) + Kb mod 4)",
+                 "S (4 * ((Kb / 4 + 4 - Kb / 4) mod 4) + Kb mod 4)"),),
+            subprograms=("Inv_Shift_Rows",),
+        ),
+        Defect(
+            name="D11-reference-sbox",
+            kind="reference",
+            description="Sub_Bytes substitutes through the inverse S-box",
+            refactored_patch=(("R (I) := Sbox (Integer (S (I)));",
+                               "R (I) := Inv_Sbox (Integer (S (I)));"),),
+            annotation_patch=(("= (Sbox (Integer (S (Kb))))",
+                               "= (Inv_Sbox (Integer (S (Kb))))"),),
+            subprograms=("Sub_Bytes",),
+        ),
+        Defect(
+            name="D12-reference-xor-words",
+            kind="reference",
+            description="Xor_Words reads its first operand twice",
+            refactored_patch=(("R (I) := A (I) xor B (I);",
+                               "R (I) := A (I) xor A (I);"),),
+            annotation_patch=(("(A (Kb) xor B (Kb))", "(A (Kb) xor A (Kb))"),),
+            subprograms=("Xor_Words",),
+        ),
+        Defect(
+            name="D13-statement-round-order",
+            kind="statement",
+            description="Round applies MixColumns after the key addition",
+            refactored_patch=(
+                ("return Add_Round_Key (Mix_Columns (Shift_Rows "
+                 "(Sub_Bytes (S))), K);",
+                 "return Mix_Columns (Add_Round_Key (Shift_Rows "
+                 "(Sub_Bytes (S)), K));"),),
+            annotation_patch=(
+                ("Add_Round_Key (Mix_Columns (Shift_Rows (Sub_Bytes (S))), K)",
+                 "Mix_Columns (Add_Round_Key (Shift_Rows (Sub_Bytes (S)), K))"),),
+            subprograms=("Round",),
+        ),
+        Defect(
+            name="D14-statement-inv-round-order",
+            kind="statement",
+            description="Inv_Round adds the round key after InvMixColumns",
+            refactored_patch=(
+                ("return Inv_Mix_Columns (Add_Round_Key (Inv_Shift_Rows "
+                 "(Inv_Sub_Bytes (S)), K));",
+                 "return Add_Round_Key (Inv_Mix_Columns (Inv_Shift_Rows "
+                 "(Inv_Sub_Bytes (S))), K);"),),
+            annotation_patch=(
+                ("Inv_Mix_Columns (Add_Round_Key (Inv_Shift_Rows "
+                 "(Inv_Sub_Bytes (S)), K))",
+                 "Add_Round_Key (Inv_Mix_Columns (Inv_Shift_Rows "
+                 "(Inv_Sub_Bytes (S))), K)"),),
+            subprograms=("Inv_Round",),
+        ),
+
+        # -- the benign defect -------------------------------------------------
+        Defect(
+            name="D15-statement-key-array-length",
+            kind="statement",
+            description="the key array is declared longer than the maximum "
+                        "key; the extra entries are never read (the paper's "
+                        "benign defect)",
+            optimized_patch=(
+                ("type Key_Bytes is array (0 .. 31) of Byte;",
+                 "type Key_Bytes is array (0 .. 33) of Byte;"),),
+            refactored_patch=(
+                ("type Key_Bytes is array (0 .. 31) of Byte;",
+                 "type Key_Bytes is array (0 .. 33) of Byte;"),),
+            subprograms=("Cipher", "Inv_Cipher"),
+            benign=True,
+        ),
+    ]

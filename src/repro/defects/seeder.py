@@ -1,0 +1,88 @@
+"""Randomized defect seeding.
+
+The paper seeded defects "by randomly choosing a line number and performing
+a change".  The curated set (:mod:`repro.defects.curated`) pins the
+published per-stage counts; this module provides the randomized version so
+the property tests can show detection does not depend on hand-picked
+sites: a random mutation of the refactored AES either changes observable
+behaviour (and the implication proof refutes a lemma) or is benign.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..lang import TypedPackage, analyze, ast
+from ..lang.errors import MiniAdaError
+
+__all__ = ["SeededMutation", "random_mutation", "mutation_sites"]
+
+
+@dataclass(frozen=True)
+class SeededMutation:
+    kind: str
+    subprogram: str
+    description: str
+    package: ast.Package
+
+
+def _swap_binop(op: str) -> Optional[str]:
+    swaps = {"+": "-", "-": "+", "xor": "or", "<": "<=", "<=": "<",
+             "mod": "/"}
+    return swaps.get(op)
+
+
+def mutation_sites(typed: TypedPackage) -> List[Tuple[str, str, object]]:
+    """(kind, subprogram, node) triples the seeder can target."""
+    sites = []
+    for sp in typed.package.subprograms:
+        for node in ast.walk(sp):
+            if isinstance(node, ast.IntLit) and 0 < node.value < 255:
+                sites.append(("numeric", sp.name, node))
+            elif isinstance(node, ast.BinOp) and _swap_binop(node.op):
+                sites.append(("operator", sp.name, node))
+            elif isinstance(node, ast.ArrayRef) and \
+                    isinstance(node.index, ast.Name):
+                sites.append(("index", sp.name, node))
+    return sites
+
+
+def random_mutation(typed: TypedPackage, rng: random.Random,
+                    max_attempts: int = 50) -> Optional[SeededMutation]:
+    """One random, type-correct mutation of the package (or None if no
+    attempt produced a type-correct program)."""
+    sites = mutation_sites(typed)
+    for _ in range(max_attempts):
+        kind, sp_name, target = rng.choice(sites)
+        replaced = {"done": False}
+
+        def mutate(node):
+            if node is target and not replaced["done"]:
+                replaced["done"] = True
+                if kind == "numeric":
+                    return ast.IntLit(value=node.value ^ 1)
+                if kind == "operator":
+                    return ast.BinOp(op=_swap_binop(node.op),
+                                     left=node.left, right=node.right)
+                if kind == "index":
+                    bumped = ast.BinOp(op="+", left=node.index,
+                                       right=ast.IntLit(value=1))
+                    return ast.ArrayRef(base=node.base, index=bumped)
+            return node
+
+        sp = typed.package.subprogram(sp_name)
+        new_sp = ast.transform_bottom_up(sp, mutate)
+        if not replaced["done"] or new_sp == sp:
+            continue
+        package = typed.package.replace_subprogram(sp_name, new_sp)
+        try:
+            analyze(package)
+        except MiniAdaError:
+            continue
+        return SeededMutation(
+            kind=kind, subprogram=sp_name,
+            description=f"{kind} mutation in {sp_name}",
+            package=package)
+    return None

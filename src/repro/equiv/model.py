@@ -1,0 +1,134 @@
+"""The state-transition semantics model behind semantics preservation.
+
+The paper (section 5.1) defines refactoring soundness as::
+
+    init_state(P) = init_state(P') => final_state(P) = final_state(P')
+
+with system states modeled as mappings from identifiers to values and
+subprograms as transitions between states.  This module provides exactly
+those notions concretely: a :class:`State` is a name->value mapping over a
+subprogram's visible variables, and :func:`final_state` runs the concrete
+interpreter to produce the transition's output.
+
+The simplifying assumptions the paper makes are inherited: programs
+terminate (the interpreter has a step budget), execution time is not
+preserved, and intermediate states need not match -- only the initial and
+final states do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..lang import Interpreter, TypedPackage
+from ..lang import ast
+from ..lang.types import (
+    ArrayType, BooleanType, IntegerType, ModularType, RangeType, Type,
+)
+
+__all__ = ["State", "final_state", "random_value", "random_state",
+           "input_params", "observable_params", "state_key", "domain_size"]
+
+#: A program state: identifier -> value (ints, bools, lists for arrays).
+State = Dict[str, object]
+
+_INTEGER_SAMPLE_RANGE = (-2**31, 2**31 - 1)
+
+
+def input_params(sp: ast.Subprogram) -> List[ast.Param]:
+    return [p for p in sp.params if p.mode in ("in", "in out")]
+
+
+def observable_params(sp: ast.Subprogram) -> List[ast.Param]:
+    return [p for p in sp.params if p.mode != "in"]
+
+
+def random_value(t: Type, rng: random.Random):
+    if isinstance(t, ModularType):
+        return rng.randrange(t.modulus)
+    if isinstance(t, RangeType):
+        return rng.randint(t.lo, t.hi)
+    if isinstance(t, BooleanType):
+        return bool(rng.getrandbits(1))
+    if isinstance(t, IntegerType):
+        return rng.randint(*_INTEGER_SAMPLE_RANGE)
+    if isinstance(t, ArrayType):
+        return [random_value(t.elem, rng) for _ in range(t.length)]
+    raise TypeError(f"cannot sample type {t!r}")
+
+
+def random_state(typed: TypedPackage, sp: ast.Subprogram,
+                 rng: random.Random) -> State:
+    """A random initial state covering the subprogram's input parameters."""
+    state: State = {}
+    for p in input_params(sp):
+        state[p.name] = random_value(typed.type_named(p.type_name), rng)
+    return state
+
+
+def domain_size(typed: TypedPackage, sp: ast.Subprogram,
+                limit: int) -> Optional[int]:
+    """Size of the input domain if finite and below ``limit``, else None."""
+    total = 1
+    for p in input_params(sp):
+        t = typed.type_named(p.type_name)
+        if isinstance(t, ModularType):
+            total *= t.modulus
+        elif isinstance(t, RangeType):
+            total *= (t.hi - t.lo + 1)
+        elif isinstance(t, BooleanType):
+            total *= 2
+        else:
+            return None
+        if total > limit:
+            return None
+    return total
+
+
+def final_state(typed: TypedPackage, name: str, initial: State,
+                step_limit: int = 50_000_000) -> State:
+    """Run the subprogram transition from ``initial``; returns the final
+    observable state (out/in-out parameters, or ``Result`` for functions)."""
+    sp = typed.signatures[name]
+    interp = Interpreter(typed, step_limit=step_limit, check_asserts=False)
+    if sp.is_function:
+        args = [initial[p.name] for p in sp.params]
+        return {"Result": interp.call_function(name, args)}
+    args = []
+    for p in sp.params:
+        args.append(initial.get(p.name))
+    return interp.call_procedure(name, args)
+
+
+def state_key(state: State) -> Tuple:
+    """Hashable canonical form of a state (for comparison and memoizing)."""
+    def freeze(v):
+        if isinstance(v, list):
+            return tuple(freeze(x) for x in v)
+        return v
+    return tuple(sorted((k, freeze(v)) for k, v in state.items()))
+
+
+@dataclass(frozen=True)
+class TransitionSemantics:
+    """Formal reading of a subprogram: a transition between states.
+
+    ``init_vars`` are the identifiers the transition reads; ``final_vars``
+    the ones it defines.  Two subprograms with the same signature are
+    semantics-equivalent iff for every initial state the final states agree
+    (the theorem :mod:`repro.equiv.theorem` discharges)."""
+
+    subprogram: str
+    init_vars: Tuple[str, ...]
+    final_vars: Tuple[str, ...]
+
+    @staticmethod
+    def of(sp: ast.Subprogram) -> "TransitionSemantics":
+        return TransitionSemantics(
+            subprogram=sp.name,
+            init_vars=tuple(p.name for p in input_params(sp)),
+            final_vars=tuple(p.name for p in observable_params(sp))
+            if not sp.is_function else ("Result",),
+        )

@@ -1,0 +1,39 @@
+"""The specification-structure match ratio (figure 2(f)).
+
+Defined by the paper as "the percentage of key structural elements -- data
+types, operators, functions and tables -- in the original specification
+that had direct counterparts in the extracted specification".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..spec import ast as s
+from .mapper import ArchitecturalMap, build_map
+
+__all__ = ["MatchRatio", "match_ratio"]
+
+
+@dataclass(frozen=True)
+class MatchRatio:
+    matched: int
+    total: int
+    map: ArchitecturalMap
+
+    @property
+    def ratio(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.matched / self.total
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.ratio
+
+
+def match_ratio(original: s.Theory, extracted: s.Theory) -> MatchRatio:
+    amap = build_map(original, extracted)
+    matched = len(amap.pairs)
+    total = matched + len(amap.unmatched_original)
+    return MatchRatio(matched=matched, total=total, map=amap)

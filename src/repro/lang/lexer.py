@@ -1,0 +1,100 @@
+"""Lexer for MiniAda.
+
+Ordinary comments (``-- ...``) are skipped; SPARK-style annotation comments
+(``--# pre ...``, ``--# post ...``, ``--# assert ...``, ``--# function ...``,
+``--# rule ...``) are real syntax: the lexer emits an ``annot`` token for the
+introducer and then lexes the rest of the annotation line normally, so the
+parser can reuse the expression grammar inside annotations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import LexError
+from .tokens import ANNOTATION_KEYWORDS, KEYWORDS, SYMBOLS, Token
+
+__all__ = ["tokenize"]
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniAda source text (raises :class:`LexError` on bad input)."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("--#", i):
+            i += 3
+            # Read the annotation keyword.
+            while i < n and source[i] in " \t":
+                i += 1
+            start = i
+            while i < n and source[i] in _IDENT_CONT:
+                i += 1
+            word = source[start:i].lower()
+            if word not in ANNOTATION_KEYWORDS:
+                raise LexError(f"unknown annotation keyword '{word}'", line)
+            tokens.append(Token("annot", word, line))
+            continue
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch in _IDENT_START:
+            start = i
+            while i < n and source[i] in _IDENT_CONT:
+                i += 1
+            word = source[start:i]
+            low = word.lower()
+            if low in KEYWORDS:
+                tokens.append(Token("kw", low, line))
+            else:
+                tokens.append(Token("id", word, line))
+            continue
+        if ch in _DIGITS:
+            start = i
+            while i < n and (source[i] in _DIGITS or source[i] == "_"):
+                i += 1
+            if i < n and source[i] == "#":
+                base = int(source[start:i].replace("_", ""))
+                if not 2 <= base <= 16:
+                    raise LexError(f"bad numeric base {base}", line)
+                i += 1
+                dstart = i
+                while i < n and (source[i].isalnum() or source[i] == "_"):
+                    i += 1
+                digits = source[dstart:i].replace("_", "")
+                if i >= n or source[i] != "#":
+                    raise LexError("unterminated based literal", line)
+                i += 1
+                try:
+                    value = int(digits, base)
+                except ValueError:
+                    raise LexError(f"bad digits '{digits}' for base {base}", line)
+                tokens.append(Token("int", value, line))
+            else:
+                value = int(source[start:i].replace("_", ""))
+                tokens.append(Token("int", value, line))
+            continue
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token("sym", sym, line))
+                i += len(sym)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", None, line))
+    return tokens

@@ -1,0 +1,499 @@
+"""Recursive-descent parser for MiniAda.
+
+The grammar is a compact subset of SPARK Ada: one package per compilation
+unit containing type/constant declarations, proof annotations, and
+subprogram bodies.  Expressions follow Ada precedence, including Ada's rule
+that ``and``/``or``/``xor`` may not be mixed at one precedence level without
+parentheses (a genuine readability aid the SPARK tools also enforce).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import Token
+
+__all__ = ["parse_package", "parse_expression"]
+
+_REL_OPS = {"=", "/=", "<", "<=", ">", ">="}
+_ADD_OPS = {"+", "-"}
+_MUL_OPS = {"*", "/", "mod"}
+_LOGICAL = {"and", "or", "xor"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, value=None) -> bool:
+        return self.peek().matches(kind, value)
+
+    def accept(self, kind: str, value=None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value=None) -> Token:
+        tok = self.peek()
+        if not tok.matches(kind, value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}, found {tok.value!r}", tok.line)
+        return self.advance()
+
+    def expect_id(self) -> str:
+        return self.expect("id").value
+
+    # -- package structure ----------------------------------------------
+
+    def parse_package(self) -> ast.Package:
+        self.expect("kw", "package")
+        name = self.expect_id()
+        self.expect("kw", "is")
+        decls: List[ast.Decl] = []
+        subprograms: List[ast.Subprogram] = []
+        while not self.check("kw", "end"):
+            tok = self.peek()
+            if tok.matches("kw", "type"):
+                decls.append(self.parse_type_decl())
+            elif tok.matches("kw", "subtype"):
+                decls.append(self.parse_subtype_decl())
+            elif tok.matches("annot", "function"):
+                decls.append(self.parse_proof_function())
+            elif tok.matches("annot", "rule"):
+                decls.append(self.parse_proof_rule())
+            elif tok.matches("kw", "function") or tok.matches("kw", "procedure"):
+                subprograms.append(self.parse_subprogram())
+            elif tok.kind == "id":
+                decls.append(self.parse_constant_decl())
+            else:
+                raise ParseError(f"unexpected token {tok.value!r} in package", tok.line)
+        self.expect("kw", "end")
+        end_name = self.expect_id()
+        if end_name != name:
+            raise ParseError(
+                f"package ends with '{end_name}', expected '{name}'", self.peek().line
+            )
+        self.expect("sym", ";")
+        self.expect("eof")
+        return ast.Package(name=name, decls=tuple(decls), subprograms=tuple(subprograms))
+
+    def parse_type_decl(self) -> ast.Decl:
+        self.expect("kw", "type")
+        name = self.expect_id()
+        self.expect("kw", "is")
+        if self.accept("kw", "mod"):
+            modulus = self.expect("int").value
+            self.expect("sym", ";")
+            return ast.ModTypeDecl(name=name, modulus=modulus)
+        if self.accept("kw", "range"):
+            lo = self.parse_static_int()
+            self.expect("sym", "..")
+            hi = self.parse_static_int()
+            self.expect("sym", ";")
+            return ast.RangeTypeDecl(name=name, lo=lo, hi=hi)
+        if self.accept("kw", "array"):
+            self.expect("sym", "(")
+            lo = self.parse_static_int()
+            self.expect("sym", "..")
+            hi = self.parse_static_int()
+            self.expect("sym", ")")
+            self.expect("kw", "of")
+            elem = self.expect_id()
+            self.expect("sym", ";")
+            return ast.ArrayTypeDecl(name=name, lo=lo, hi=hi, elem_type=elem)
+        tok = self.peek()
+        raise ParseError(f"unsupported type definition at {tok.value!r}", tok.line)
+
+    def parse_subtype_decl(self) -> ast.SubtypeDecl:
+        self.expect("kw", "subtype")
+        name = self.expect_id()
+        self.expect("kw", "is")
+        base = self.expect_id()
+        self.expect("kw", "range")
+        lo = self.parse_static_int()
+        self.expect("sym", "..")
+        hi = self.parse_static_int()
+        self.expect("sym", ";")
+        return ast.SubtypeDecl(name=name, base=base, lo=lo, hi=hi)
+
+    def parse_static_int(self) -> int:
+        negative = bool(self.accept("sym", "-"))
+        value = self.expect("int").value
+        return -value if negative else value
+
+    def parse_constant_decl(self) -> ast.ConstDecl:
+        name = self.expect_id()
+        self.expect("sym", ":")
+        self.expect("kw", "constant")
+        type_name = self.expect_id()
+        self.expect("sym", ":=")
+        value = self.parse_expr(allow_aggregate=True)
+        self.expect("sym", ";")
+        return ast.ConstDecl(name=name, type_name=type_name, value=value)
+
+    def parse_proof_function(self) -> ast.ProofFunctionDecl:
+        self.expect("annot", "function")
+        name = self.expect_id()
+        params = self.parse_params() if self.check("sym", "(") else ()
+        self.expect("kw", "return")
+        rtype = self.expect_id()
+        self.expect("sym", ";")
+        return ast.ProofFunctionDecl(name=name, params=params, return_type=rtype)
+
+    def parse_proof_rule(self) -> ast.ProofRuleDecl:
+        self.expect("annot", "rule")
+        name = self.expect_id()
+        params = self.parse_params() if self.check("sym", "(") else ()
+        self.expect("sym", ":")
+        expr = self.parse_expr()
+        self.expect("sym", ";")
+        return ast.ProofRuleDecl(name=name, expr=expr, params=params)
+
+    # -- subprograms ------------------------------------------------------
+
+    def parse_params(self) -> Tuple[ast.Param, ...]:
+        self.expect("sym", "(")
+        params: List[ast.Param] = []
+        while True:
+            names = [self.expect_id()]
+            while self.accept("sym", ","):
+                names.append(self.expect_id())
+            self.expect("sym", ":")
+            mode = "in"
+            if self.accept("kw", "in"):
+                mode = "in out" if self.accept("kw", "out") else "in"
+            elif self.accept("kw", "out"):
+                mode = "out"
+            type_name = self.expect_id()
+            for n in names:
+                params.append(ast.Param(name=n, mode=mode, type_name=type_name))
+            if not self.accept("sym", ";"):
+                break
+        self.expect("sym", ")")
+        return tuple(params)
+
+    def parse_subprogram(self) -> ast.Subprogram:
+        if self.accept("kw", "function"):
+            name = self.expect_id()
+            params = self.parse_params() if self.check("sym", "(") else ()
+            self.expect("kw", "return")
+            return_type = self.expect_id()
+        else:
+            self.expect("kw", "procedure")
+            name = self.expect_id()
+            params = self.parse_params() if self.check("sym", "(") else ()
+            return_type = None
+        pre: List[ast.Expr] = []
+        post: List[ast.Expr] = []
+        while self.peek().kind == "annot":
+            kind = self.peek().value
+            if kind == "pre":
+                self.advance()
+                pre.append(self.parse_expr())
+                self.expect("sym", ";")
+            elif kind == "post":
+                self.advance()
+                post.append(self.parse_expr())
+                self.expect("sym", ";")
+            else:
+                raise ParseError(
+                    f"annotation '--# {kind}' not allowed before 'is'", self.peek().line
+                )
+        self.expect("kw", "is")
+        decls: List[ast.VarDecl] = []
+        while self.peek().kind == "id":
+            decls.append(self.parse_var_decl())
+        self.expect("kw", "begin")
+        body = self.parse_statements(("end",))
+        self.expect("kw", "end")
+        end_name = self.expect_id()
+        if end_name != name:
+            raise ParseError(
+                f"subprogram '{name}' ends with '{end_name}'", self.peek().line
+            )
+        self.expect("sym", ";")
+        return ast.Subprogram(
+            name=name, params=params, return_type=return_type,
+            decls=tuple(decls), body=body, pre=tuple(pre), post=tuple(post),
+        )
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        name = self.expect_id()
+        self.expect("sym", ":")
+        type_name = self.expect_id()
+        init = None
+        if self.accept("sym", ":="):
+            init = self.parse_expr(allow_aggregate=True)
+        self.expect("sym", ";")
+        return ast.VarDecl(name=name, type_name=type_name, init=init)
+
+    # -- statements -------------------------------------------------------
+
+    def parse_statements(self, stop_keywords) -> Tuple[ast.Stmt, ...]:
+        stmts: List[ast.Stmt] = []
+        while True:
+            tok = self.peek()
+            if tok.kind == "kw" and tok.value in stop_keywords:
+                return tuple(stmts)
+            if tok.kind == "eof":
+                raise ParseError("unexpected end of input in statement list", tok.line)
+            stmts.append(self.parse_statement())
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.matches("annot", "assert"):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("sym", ";")
+            return ast.Assert(expr=expr)
+        if tok.matches("kw", "null"):
+            self.advance()
+            self.expect("sym", ";")
+            return ast.Null()
+        if tok.matches("kw", "return"):
+            self.advance()
+            value = None
+            if not self.check("sym", ";"):
+                value = self.parse_expr()
+            self.expect("sym", ";")
+            return ast.Return(value=value)
+        if tok.matches("kw", "if"):
+            return self.parse_if()
+        if tok.matches("kw", "for"):
+            return self.parse_for()
+        if tok.matches("kw", "while"):
+            return self.parse_while()
+        if tok.kind == "id":
+            target = self.parse_name_expr()
+            if self.accept("sym", ":="):
+                value = self.parse_expr(allow_aggregate=True)
+                self.expect("sym", ";")
+                return ast.Assign(target=target, value=value)
+            self.expect("sym", ";")
+            # A bare name expression statement is a procedure call.
+            if isinstance(target, ast.Name):
+                return ast.ProcCall(name=target.id, args=())
+            if isinstance(target, ast.App) and isinstance(target.prefix, ast.Name):
+                return ast.ProcCall(name=target.prefix.id, args=target.args)
+            raise ParseError("malformed procedure call", tok.line)
+        raise ParseError(f"unexpected token {tok.value!r} in statement", tok.line)
+
+    def parse_if(self) -> ast.If:
+        self.expect("kw", "if")
+        branches = []
+        cond = self.parse_expr()
+        self.expect("kw", "then")
+        body = self.parse_statements(("elsif", "else", "end"))
+        branches.append((cond, body))
+        while self.accept("kw", "elsif"):
+            cond = self.parse_expr()
+            self.expect("kw", "then")
+            body = self.parse_statements(("elsif", "else", "end"))
+            branches.append((cond, body))
+        else_body: Tuple[ast.Stmt, ...] = ()
+        if self.accept("kw", "else"):
+            else_body = self.parse_statements(("end",))
+        self.expect("kw", "end")
+        self.expect("kw", "if")
+        self.expect("sym", ";")
+        return ast.If(branches=tuple(branches), else_body=else_body)
+
+    def parse_for(self) -> ast.For:
+        self.expect("kw", "for")
+        var = self.expect_id()
+        self.expect("kw", "in")
+        reverse = bool(self.accept("kw", "reverse"))
+        lo = self.parse_simple_expr()
+        self.expect("sym", "..")
+        hi = self.parse_simple_expr()
+        self.expect("kw", "loop")
+        body = self.parse_statements(("end",))
+        self.expect("kw", "end")
+        self.expect("kw", "loop")
+        self.expect("sym", ";")
+        return ast.For(var=var, lo=lo, hi=hi, body=body, reverse=reverse)
+
+    def parse_while(self) -> ast.While:
+        self.expect("kw", "while")
+        cond = self.parse_expr()
+        self.expect("kw", "loop")
+        body = self.parse_statements(("end",))
+        self.expect("kw", "end")
+        self.expect("kw", "loop")
+        self.expect("sym", ";")
+        return ast.While(cond=cond, body=body)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self, allow_aggregate: bool = False) -> ast.Expr:
+        if allow_aggregate and self.check("sym", "("):
+            # `(a, b, ...)` is an aggregate; `(expr) op ...` is an ordinary
+            # parenthesized expression.  Try the aggregate reading first and
+            # backtrack if it turns out to be a plain expression.
+            saved = self.pos
+            parsed = self.parse_parenthesized(allow_aggregate=True)
+            if isinstance(parsed, ast.Aggregate):
+                return parsed
+            self.pos = saved
+        return self.parse_logical()
+
+    def parse_logical(self) -> ast.Expr:
+        left = self.parse_relation()
+        first_op = None
+        while self.peek().kind == "kw" and self.peek().value in _LOGICAL:
+            op = self.advance().value
+            if op == "and" and self.accept("kw", "then"):
+                op = "and_then"
+            elif op == "or" and self.accept("kw", "else"):
+                op = "or_else"
+            if first_op is None:
+                first_op = op
+            elif op != first_op:
+                raise ParseError(
+                    f"mixing '{first_op}' and '{op}' requires parentheses",
+                    self.peek().line,
+                )
+            right = self.parse_relation()
+            left = ast.BinOp(op=op, left=left, right=right)
+        return left
+
+    def parse_relation(self) -> ast.Expr:
+        left = self.parse_simple_expr()
+        tok = self.peek()
+        if tok.kind == "sym" and tok.value in _REL_OPS:
+            op = self.advance().value
+            right = self.parse_simple_expr()
+            return ast.BinOp(op=op, left=left, right=right)
+        return left
+
+    def parse_simple_expr(self) -> ast.Expr:
+        if self.check("sym", "-"):
+            self.advance()
+            operand = self.parse_term()
+            left: ast.Expr = ast.UnOp(op="-", operand=operand)
+        else:
+            left = self.parse_term()
+        while self.peek().kind == "sym" and self.peek().value in _ADD_OPS:
+            op = self.advance().value
+            right = self.parse_term()
+            left = ast.BinOp(op=op, left=left, right=right)
+        return left
+
+    def parse_term(self) -> ast.Expr:
+        left = self.parse_factor()
+        while True:
+            tok = self.peek()
+            if tok.kind == "sym" and tok.value in ("*", "/"):
+                op = self.advance().value
+            elif tok.matches("kw", "mod"):
+                self.advance()
+                op = "mod"
+            else:
+                return left
+            right = self.parse_factor()
+            left = ast.BinOp(op=op, left=left, right=right)
+
+    def parse_factor(self) -> ast.Expr:
+        if self.accept("kw", "not"):
+            return ast.UnOp(op="not", operand=self.parse_factor())
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLit(value=tok.value)
+        if tok.matches("kw", "true"):
+            self.advance()
+            return ast.BoolLit(value=True)
+        if tok.matches("kw", "false"):
+            self.advance()
+            return ast.BoolLit(value=False)
+        if tok.matches("kw", "for"):
+            return self.parse_forall()
+        if tok.kind == "id":
+            return self.parse_name_expr()
+        if tok.matches("sym", "("):
+            return self.parse_parenthesized(allow_aggregate=False)
+        raise ParseError(f"unexpected token {tok.value!r} in expression", tok.line)
+
+    def parse_forall(self) -> ast.ForAll:
+        self.expect("kw", "for")
+        self.expect("kw", "all")
+        var = self.expect_id()
+        self.expect("kw", "in")
+        lo = self.parse_simple_expr()
+        self.expect("sym", "..")
+        hi = self.parse_simple_expr()
+        self.expect("sym", "=>")
+        body = self.parse_expr()
+        return ast.ForAll(var=var, lo=lo, hi=hi, body=body)
+
+    def parse_parenthesized(self, allow_aggregate: bool) -> ast.Expr:
+        self.expect("sym", "(")
+        if self.accept("kw", "others"):
+            self.expect("sym", "=>")
+            others = self.parse_expr()
+            self.expect("sym", ")")
+            return ast.Aggregate(items=(), others=others)
+        first = self.parse_expr()
+        if self.check("sym", ","):
+            items = [first]
+            others = None
+            while self.accept("sym", ","):
+                if self.accept("kw", "others"):
+                    self.expect("sym", "=>")
+                    others = self.parse_expr()
+                    break
+                items.append(self.parse_expr())
+            self.expect("sym", ")")
+            return ast.Aggregate(items=tuple(items), others=others)
+        self.expect("sym", ")")
+        return first
+
+    def parse_name_expr(self) -> ast.Expr:
+        name = self.expect_id()
+        expr: ast.Expr = ast.Name(id=name)
+        while True:
+            if self.check("sym", "("):
+                self.expect("sym", "(")
+                args = [self.parse_expr()]
+                while self.accept("sym", ","):
+                    args.append(self.parse_expr())
+                self.expect("sym", ")")
+                expr = ast.App(prefix=expr, args=tuple(args))
+            elif self.check("sym", "~"):
+                self.advance()
+                if not isinstance(expr, ast.Name):
+                    raise ParseError("'~' applies to a plain name", self.peek().line)
+                expr = ast.OldExpr(name=expr.id)
+            else:
+                return expr
+
+
+def parse_package(source: str) -> ast.Package:
+    """Parse a full MiniAda package from source text."""
+    return _Parser(tokenize(source)).parse_package()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a standalone expression (used by tests and the annotator)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expr()
+    parser.expect("eof")
+    return expr

@@ -1,0 +1,44 @@
+"""Token definitions for MiniAda."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "KEYWORDS", "ANNOTATION_KEYWORDS", "SYMBOLS"]
+
+#: Reserved words (lower-cased; MiniAda, like Ada, is case-insensitive for
+#: keywords and identifiers).
+KEYWORDS = frozenset(
+    """package is end type subtype mod range array of constant function
+    procedure return in out begin if then elsif else loop for while reverse
+    and or xor not null others true false all""".split()
+)
+
+#: Words allowed after ``--#`` introducing an annotation.
+ANNOTATION_KEYWORDS = frozenset(["pre", "post", "assert", "function", "rule"])
+
+#: Multi-character symbols first so the lexer can do maximal munch.
+SYMBOLS = [
+    ":=", "..", "=>", "/=", "<=", ">=",
+    "(", ")", ",", ";", ":", "=", "<", ">", "+", "-", "*", "/", "&", "~", "'",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of: ``id``, ``int``, ``sym``, ``kw``, ``annot`` (the
+    ``--#`` introducer), ``eof``.  ``value`` holds the normalized payload
+    (lower-case identifier text, integer value, symbol text).
+    """
+
+    kind: str
+    value: object
+    line: int
+
+    def matches(self, kind: str, value=None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"

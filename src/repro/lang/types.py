@@ -1,0 +1,100 @@
+"""Type model for MiniAda.
+
+MiniAda's types mirror the SPARK Ada subset the paper's AES code uses:
+unbounded ``Integer`` with range subtypes, modular (wrap-around) types for
+bytes and 32-bit words, and constrained one-dimensional arrays (arrays of
+arrays give the 4x4 AES state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "Type", "IntegerType", "BooleanType", "ModularType", "RangeType",
+    "ArrayType", "UniversalInt", "INTEGER", "BOOLEAN", "UNIV_INT",
+    "is_integerish", "compatible",
+]
+
+
+@dataclass(frozen=True)
+class Type:
+    name: str
+
+
+@dataclass(frozen=True)
+class IntegerType(Type):
+    pass
+
+
+@dataclass(frozen=True)
+class BooleanType(Type):
+    pass
+
+
+@dataclass(frozen=True)
+class UniversalInt(Type):
+    """The type of integer literals, compatible with every integer type."""
+
+
+@dataclass(frozen=True)
+class ModularType(Type):
+    modulus: int = 0
+
+    @property
+    def width(self) -> int:
+        """Bit width (the modulus is a power of two for all MiniAda uses)."""
+        return (self.modulus - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class RangeType(Type):
+    lo: int = 0
+    hi: int = 0
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    lo: int = 0
+    hi: int = 0
+    elem: Optional[Type] = None
+
+    @property
+    def length(self) -> int:
+        return self.hi - self.lo + 1
+
+
+INTEGER = IntegerType("Integer")
+BOOLEAN = BooleanType("Boolean")
+UNIV_INT = UniversalInt("universal_integer")
+
+
+def is_integerish(t: Type) -> bool:
+    return isinstance(t, (IntegerType, RangeType, ModularType, UniversalInt))
+
+
+def compatible(expected: Type, actual: Type) -> bool:
+    """May a value of ``actual`` be used where ``expected`` is required?
+
+    Follows Ada's model: integer subtypes (ranges) of Integer are freely
+    interchangeable (run-time constraint checks guard the ranges -- those
+    become verification conditions); modular types are distinct from each
+    other and from Integer; literals are universal.
+    """
+    if expected == actual:
+        return True
+    if isinstance(actual, UniversalInt):
+        return is_integerish(expected)
+    if isinstance(expected, UniversalInt):
+        return is_integerish(actual)
+    int_family = (IntegerType, RangeType)
+    if isinstance(expected, int_family) and isinstance(actual, int_family):
+        return True
+    if isinstance(expected, ModularType) and isinstance(actual, ModularType):
+        return expected.name == actual.name
+    if isinstance(expected, ArrayType) and isinstance(actual, ArrayType):
+        return (expected.lo == actual.lo and expected.hi == actual.hi
+                and expected.elem is not None and actual.elem is not None
+                and compatible(expected.elem, actual.elem))
+    return False

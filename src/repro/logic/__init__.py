@@ -1,0 +1,31 @@
+"""Shared logical term language.
+
+Verification conditions, symbolic states and proof obligations throughout
+the Echo reproduction are hash-consed :class:`~repro.logic.terms.Term` DAGs.
+See :mod:`repro.logic.terms` for the operator vocabulary.
+"""
+
+from .builders import (
+    FALSE, TRUE, add, apply, band, bnot, boolc, bor, conj, disj, divi, eq,
+    exists, forall, ge, gt, iff, implies, intc, ite, le, lt, modi, mul, ne,
+    neg, select, shl, shr, store, sub, var, xor,
+)
+from .measure import dag_size, max_depth, tree_bytes, tree_size
+from .printer import render, render_full
+from .rewriter import Rewriter, RewriteBudgetExceeded, RewriteStats, Rule
+from .rules import decide_relation, default_rules, interval_of, rule_families
+from .substitute import rebuild_smart, substitute, substitute_simplifying
+from .terms import Term, mk, term_table
+
+__all__ = [
+    "Term", "mk", "term_table",
+    "TRUE", "FALSE", "intc", "boolc", "var", "conj", "disj", "neg",
+    "implies", "iff", "ite", "eq", "ne", "lt", "le", "gt", "ge",
+    "add", "sub", "mul", "divi", "modi", "xor", "band", "bor", "bnot",
+    "shl", "shr", "select", "store", "apply", "forall", "exists",
+    "dag_size", "tree_size", "tree_bytes", "max_depth",
+    "render", "render_full",
+    "Rewriter", "Rule", "RewriteStats", "RewriteBudgetExceeded",
+    "default_rules", "rule_families", "interval_of", "decide_relation",
+    "substitute", "substitute_simplifying", "rebuild_smart",
+]

@@ -1,0 +1,127 @@
+"""A budgeted, memoizing rewrite engine over hash-consed terms.
+
+This is the computational core of our SPARK-Simplifier substitute: the
+simplifier in :mod:`repro.vcgen.simplifier` is this engine loaded with the
+rule families from :mod:`repro.logic.rules`.
+
+Rewriting is bottom-up with a per-node fixpoint, memoized across the DAG (a
+shared subterm is normalized once no matter how many tree occurrences it
+has).  All work is counted; an optional budget turns resource exhaustion into
+a :class:`RewriteBudgetExceeded` exception, which the examiner maps to the
+paper's "the VCs were too complicated to be handled by the SPARK tools".
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .substitute import rebuild_smart
+from .terms import Term
+
+__all__ = ["Rule", "Rewriter", "RewriteStats", "RewriteBudgetExceeded"]
+
+# Deep WP terms are legitimate here; raise the recursion ceiling once.
+if sys.getrecursionlimit() < 100_000:
+    sys.setrecursionlimit(100_000)
+
+_MAX_FIXPOINT_ITERS = 64
+
+
+class RewriteBudgetExceeded(Exception):
+    """Raised when rewriting exceeds its work budget."""
+
+
+@dataclass
+class Rule:
+    """A named rewrite rule.
+
+    ``fn`` returns a replacement term, or ``None`` when the rule does not
+    apply.  ``family`` groups rules for the ablation benchmarks (bounds /
+    boolean / equality / arrays).
+    """
+
+    name: str
+    family: str
+    fn: Callable[[Term], Optional[Term]]
+
+    def __call__(self, term: Term) -> Optional[Term]:
+        return self.fn(term)
+
+
+@dataclass
+class RewriteStats:
+    nodes_visited: int = 0
+    rules_applied: int = 0
+    applications_by_rule: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def work(self) -> int:
+        """Deterministic work units (the paper's 'analysis time' proxy)."""
+        return self.nodes_visited + 4 * self.rules_applied
+
+
+class Rewriter:
+    """Bottom-up fixpoint rewriter with DAG memoization and a work budget."""
+
+    def __init__(self, rules: Sequence[Rule], max_work: Optional[int] = None):
+        self.rules: List[Rule] = list(rules)
+        self.max_work = max_work
+        self.stats = RewriteStats()
+        self._memo: Dict[int, Term] = {}
+
+    def _charge(self, nodes: int = 0, applications: int = 0, rule: str = None):
+        self.stats.nodes_visited += nodes
+        self.stats.rules_applied += applications
+        if rule is not None:
+            by_rule = self.stats.applications_by_rule
+            by_rule[rule] = by_rule.get(rule, 0) + applications
+        if self.max_work is not None and self.stats.work > self.max_work:
+            raise RewriteBudgetExceeded(
+                f"rewrite work {self.stats.work} exceeded budget {self.max_work}"
+            )
+
+    def normalize(self, term: Term) -> Term:
+        """Return the normal form of ``term`` under this rewriter's rules."""
+        memo = self._memo
+        hit = memo.get(term._id)
+        if hit is not None:
+            return hit
+        self._charge(nodes=1)
+        if term.args:
+            new_args = tuple(self.normalize(a) for a in term.args)
+            # Always rebuild through the smart constructors: terms built with
+            # the raw constructor (e.g. by shape-preserving substitution in
+            # the WP calculus) fold only here.
+            current = rebuild_smart(term.op, new_args, term.value)
+            if current is not term and current._id in memo:
+                memo[term._id] = memo[current._id]
+                return memo[term._id]
+        else:
+            current = term
+        for _ in range(_MAX_FIXPOINT_ITERS):
+            replacement = self._apply_one(current)
+            if replacement is None:
+                break
+            # Normalize the replacement: its freshly built spine may expose
+            # further redexes even though its leaves are already normal.
+            if replacement._id in memo:
+                current = memo[replacement._id]
+            elif replacement.args and any(
+                a._id not in memo or memo[a._id] is not a for a in replacement.args
+            ):
+                current = self.normalize(replacement)
+            else:
+                current = replacement
+        memo[term._id] = current
+        memo[current._id] = current
+        return current
+
+    def _apply_one(self, term: Term) -> Optional[Term]:
+        for rule in self.rules:
+            result = rule(term)
+            if result is not None and result is not term:
+                self._charge(applications=1, rule=rule.name)
+                return result
+        return None

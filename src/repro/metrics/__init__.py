@@ -1,0 +1,23 @@
+"""Source-code metrics analyzer (GNAT metric tool + Examiner substitute).
+
+Provides the four metric families of paper section 5.2: element metrics,
+complexity metrics, verification-condition metrics and specification-
+structure summaries.
+"""
+
+from .complexity import (
+    ComplexityMetrics, SubprogramComplexity, complexity_metrics, mccabe,
+)
+from .elements import ElementMetrics, element_metrics
+from .report import MetricsReport, analyze_metrics, render_report
+from .structure import ArchitectureSummary, Element, package_architecture
+from .vcmetrics import VCMetrics, vc_metrics
+
+__all__ = [
+    "ElementMetrics", "element_metrics",
+    "ComplexityMetrics", "SubprogramComplexity", "complexity_metrics",
+    "mccabe",
+    "VCMetrics", "vc_metrics",
+    "ArchitectureSummary", "Element", "package_architecture",
+    "MetricsReport", "analyze_metrics", "render_report",
+]

@@ -1,0 +1,77 @@
+"""Aggregated metrics report -- the analyzer box in the paper's figure 1.
+
+``analyze_metrics`` bundles element, complexity and (optionally) VC metrics
+for one program version; ``render_report`` prints the hybrid-metrics table
+the user reviews when deciding whether further refactoring is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang import ast
+from .complexity import ComplexityMetrics, complexity_metrics
+from .elements import ElementMetrics, element_metrics
+from .vcmetrics import VCMetrics
+
+__all__ = ["MetricsReport", "analyze_metrics", "render_report"]
+
+
+@dataclass(frozen=True)
+class MetricsReport:
+    label: str
+    elements: ElementMetrics
+    complexity: ComplexityMetrics
+    vcs: Optional[VCMetrics] = None
+    match_ratio: Optional[float] = None
+
+
+def analyze_metrics(pkg: ast.Package, label: str = "",
+                    vcs: Optional[VCMetrics] = None,
+                    match_ratio: Optional[float] = None) -> MetricsReport:
+    return MetricsReport(
+        label=label or pkg.name,
+        elements=element_metrics(pkg),
+        complexity=complexity_metrics(pkg),
+        vcs=vcs,
+        match_ratio=match_ratio,
+    )
+
+
+def render_report(report: MetricsReport) -> str:
+    e = report.elements
+    c = report.complexity
+    lines = [
+        f"Metrics for {report.label}",
+        f"  lines of code              {e.lines_of_code}",
+        f"  logical SLOC               {e.logical_sloc}",
+        f"  declarations               {e.declarations}",
+        f"  statements                 {e.statements}",
+        f"  subprograms                {e.subprograms}",
+        f"  avg subprogram size        {e.average_subprogram_size:.2f}",
+        f"  construct nesting          {e.construct_nesting_level}",
+        f"  avg McCabe cyclomatic      {c.average_mccabe:.2f}",
+        f"  max McCabe cyclomatic      {c.max_mccabe}",
+        f"  avg essential complexity   {c.average_essential:.2f}",
+        f"  avg statement complexity   {c.average_statement_complexity:.2f}",
+        f"  short-circuit complexity   {c.total_short_circuit}",
+        f"  max loop nesting           {c.max_loop_nesting}",
+    ]
+    if report.vcs is not None:
+        v = report.vcs
+        if v.feasible:
+            lines += [
+                f"  VCs generated              {v.vc_count}",
+                f"  generated VC size          {v.generated_mb:.2f} MB",
+                f"  simplified VC size         {v.simplified_mb:.4f} MB",
+                f"  max VC length              {v.max_vc_lines} lines",
+                f"  analysis work              {v.work_units} units "
+                f"(~{v.simulated_seconds:.1f} s simulated)",
+            ]
+        else:
+            lines.append("  VC analysis                INFEASIBLE "
+                         "(resources exhausted)")
+    if report.match_ratio is not None:
+        lines.append(f"  spec structure match       {report.match_ratio:.1%}")
+    return "\n".join(lines)

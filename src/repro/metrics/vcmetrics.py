@@ -1,0 +1,55 @@
+"""Verification-condition metrics (paper section 5.2).
+
+"The number and size of verification conditions, maximum length of
+verification conditions, and the time that the SPARK tools take to analyze
+the verification conditions."
+
+These are read off an :class:`~repro.vcgen.examiner.ExaminerReport`; this
+module just shapes them into the record the figure-2 harness plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..vcgen import ExaminerReport
+
+__all__ = ["VCMetrics", "vc_metrics"]
+
+
+@dataclass(frozen=True)
+class VCMetrics:
+    feasible: bool
+    vc_count: int
+    generated_bytes: int
+    simplified_bytes: int
+    max_vc_lines: int
+    max_residue_lines: int
+    discharged_by_simplifier: int
+    work_units: int
+    simulated_seconds: float
+    wall_seconds: float
+
+    @property
+    def generated_mb(self) -> float:
+        return self.generated_bytes / (1024 * 1024)
+
+    @property
+    def simplified_mb(self) -> float:
+        return self.simplified_bytes / (1024 * 1024)
+
+
+def vc_metrics(report: ExaminerReport) -> VCMetrics:
+    return VCMetrics(
+        feasible=report.feasible,
+        vc_count=report.vc_count,
+        generated_bytes=report.generated_bytes,
+        simplified_bytes=report.simplified_bytes,
+        max_vc_lines=report.max_generated_lines,
+        max_residue_lines=report.max_residue_lines,
+        discharged_by_simplifier=report.discharged_count,
+        work_units=report.work_units,
+        simulated_seconds=report.simulated_seconds,
+        wall_seconds=report.wall_seconds,
+    )

@@ -1,0 +1,23 @@
+"""Provers: automatic (SPADE substitute) and interactive (tactic scripts
+standing in for the paper's human guidance).
+"""
+
+from .auto import AutoProver, Axiom, ProofResult, package_axioms
+from .congruence import CongruenceClosure
+from .ground import GroundEvaluator
+from .linarith import env_decide, harvest_env
+from .session import (
+    ImplementationProof, ImplementationProofResult, VCOutcome,
+)
+from .tactics import (
+    Cases, CasesVar, Expand, Extensionality, Instantiate, InteractiveProver,
+    Normalize, ProofScript, Tactic,
+)
+
+__all__ = [
+    "AutoProver", "Axiom", "ProofResult", "package_axioms",
+    "CongruenceClosure", "GroundEvaluator", "harvest_env", "env_decide",
+    "ImplementationProof", "ImplementationProofResult", "VCOutcome",
+    "Tactic", "Expand", "Cases", "CasesVar", "Instantiate", "Extensionality",
+    "Normalize", "ProofScript", "InteractiveProver",
+]

@@ -1,0 +1,159 @@
+"""Ground evaluation of closed terms.
+
+Evaluates terms with no free variables to concrete values, consulting the
+package's constant pool for table applications (``Te0(i)``) and running the
+concrete interpreter for applications of defined functions.  This is the
+workhorse behind proof-by-evaluation: byte-domain lemmas in the implication
+proof are discharged by evaluating both sides over the whole domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..lang import Interpreter, TypedPackage
+from ..lang.errors import MiniAdaError
+from ..logic import Term
+
+__all__ = ["GroundEvaluator"]
+
+_MAX_SHIFT = 1 << 20
+
+
+class GroundEvaluator:
+    """Evaluates closed terms; returns None when a term is not closed or
+    not evaluable (unknown function, runtime fault, absurd shift)."""
+
+    def __init__(self, typed: Optional[TypedPackage] = None,
+                 step_limit: int = 2_000_000):
+        self.typed = typed
+        self._interp = Interpreter(typed, step_limit=step_limit,
+                                   check_asserts=False) if typed else None
+        self._cache: Dict[int, object] = {}
+
+    def evaluate(self, term: Term):
+        hit = self._cache.get(term._id, _MISS)
+        if hit is not _MISS:
+            return hit
+        value = self._eval(term)
+        self._cache[term._id] = value
+        return value
+
+    def _eval(self, term: Term):
+        op = term.op
+        if op in ("int", "bool"):
+            return term.value
+        if op == "var":
+            return None
+        args = []
+        for a in term.args:
+            v = self.evaluate(a)
+            if v is None and op != "ite":
+                return None
+            args.append(v)
+        if op == "and":
+            return all(args)
+        if op == "or":
+            return any(args)
+        if op == "not":
+            return not args[0]
+        if op == "implies":
+            return (not args[0]) or args[1]
+        if op == "iff":
+            return args[0] == args[1]
+        if op == "ite":
+            cond = args[0]
+            if cond is None:
+                return None
+            return args[1] if cond else args[2]
+        if op == "eq":
+            return args[0] == args[1]
+        if op == "lt":
+            return args[0] < args[1]
+        if op == "le":
+            return args[0] <= args[1]
+        if op == "add":
+            return sum(args)
+        if op == "mul":
+            out = 1
+            for v in args:
+                out *= v
+            return out
+        if op == "sub":
+            return args[0] - args[1]
+        if op == "div":
+            if args[1] == 0:
+                return None
+            quotient = abs(args[0]) // abs(args[1])
+            if (args[0] < 0) != (args[1] < 0):
+                quotient = -quotient
+            return quotient
+        if op == "mod":
+            if args[1] == 0:
+                return None
+            return args[0] % args[1]
+        if op == "xor":
+            out = 0
+            for v in args:
+                out ^= v
+            return out
+        if op == "band":
+            out = -1
+            for v in args:
+                out &= v
+            return out
+        if op == "bor":
+            out = 0
+            for v in args:
+                out |= v
+            return out
+        if op == "bnot":
+            return args[0] ^ ((1 << term.value) - 1)
+        if op == "shl":
+            if not (0 <= args[1] <= _MAX_SHIFT):
+                return None
+            return args[0] << args[1]
+        if op == "shr":
+            if args[1] < 0:
+                return None
+            return args[0] >> args[1]
+        if op == "select":
+            arr, idx = args
+            if isinstance(arr, (list, tuple)) and 0 <= idx < len(arr):
+                return arr[idx]
+            return None
+        if op == "store":
+            arr, idx, val = args
+            if isinstance(arr, (list, tuple)) and 0 <= idx < len(arr):
+                out = list(arr)
+                out[idx] = val
+                return out
+            return None
+        if op == "apply":
+            return self._eval_apply(term, args)
+        return None
+
+    def _eval_apply(self, term: Term, args):
+        if self.typed is None:
+            return None
+        const = self.typed.constants.get(term.value)
+        if const is not None:
+            table = const[1]
+            if isinstance(table, tuple) and len(args) == 1 and \
+                    isinstance(args[0], int) and 0 <= args[0] < len(table):
+                return table[args[0]]
+            return None
+        sig = self.typed.signatures.get(term.value)
+        if sig is not None and sig.is_function:
+            try:
+                return self._interp.call_function(term.value, args)
+            except MiniAdaError:
+                return None
+        return None  # proof functions have no executable body
+
+
+class _Miss:
+    pass
+
+
+_MISS = _Miss()

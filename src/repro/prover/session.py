@@ -1,0 +1,158 @@
+"""The implementation-proof session.
+
+Runs the full SPARK-style pipeline for a package: examine (generate +
+simplify VCs), then discharge each VC automatically, then apply any
+supplied interactive proof scripts to the survivors.  The result carries
+exactly the quantities section 6.2.3 of the paper reports: total VCs,
+percentage discharged automatically, subprograms fully automatic, the
+maximum length of VCs needing human intervention, and wall/simulated time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang.typecheck import TypedPackage
+from ..vcgen import Examiner, ExaminerLimits, ExaminerReport, VCRecord
+from .auto import AutoProver, ProofResult
+from .tactics import InteractiveProver, ProofScript
+
+__all__ = ["VCOutcome", "ImplementationProofResult", "ImplementationProof"]
+
+
+@dataclass
+class VCOutcome:
+    vc: VCRecord
+    stage: str   # 'simplifier', 'auto', 'interactive', 'undischarged'
+    result: Optional[ProofResult] = None
+
+
+@dataclass
+class ImplementationProofResult:
+    report: ExaminerReport
+    outcomes: List[VCOutcome]
+    wall_seconds: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.report.feasible
+
+    @property
+    def total_vcs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def auto_discharged(self) -> int:
+        return sum(1 for o in self.outcomes
+                   if o.stage in ("simplifier", "auto"))
+
+    @property
+    def interactive_discharged(self) -> int:
+        return sum(1 for o in self.outcomes if o.stage == "interactive")
+
+    @property
+    def undischarged(self) -> List[VCOutcome]:
+        return [o for o in self.outcomes if o.stage == "undischarged"]
+
+    @property
+    def auto_percent(self) -> float:
+        if not self.outcomes:
+            return 100.0
+        return 100.0 * self.auto_discharged / self.total_vcs
+
+    @property
+    def all_proved(self) -> bool:
+        return self.feasible and not self.undischarged
+
+    def fully_automatic_subprograms(self) -> List[str]:
+        by_sp: Dict[str, bool] = {}
+        for o in self.outcomes:
+            name = o.vc.subprogram
+            by_sp.setdefault(name, True)
+            if o.stage not in ("simplifier", "auto"):
+                by_sp[name] = False
+        return sorted(n for n, auto in by_sp.items() if auto)
+
+    @property
+    def max_interactive_vc_lines(self) -> int:
+        """Longest VC (in estimated lines) that needed human intervention."""
+        lines = [o.vc.simplified_bytes // 40 + 1 for o in self.outcomes
+                 if o.stage in ("interactive", "undischarged")]
+        return max(lines, default=0)
+
+    def undischarged_kinds(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for o in self.undischarged:
+            out[o.vc.kind] = out.get(o.vc.kind, 0) + 1
+        return out
+
+
+class ImplementationProof:
+    """Discharges all VCs of a package: the Echo implementation proof."""
+
+    #: The automatic prover gives up after this long per VC and hands the
+    #: VC to the interactive scripts (real provers run with a timeout; the
+    #: paper's automatic/interactive boundary presumes one).
+    AUTO_TIMEOUT_SECONDS = 3.0
+    INTERACTIVE_TIMEOUT_SECONDS = 30.0
+
+    def __init__(self, typed: TypedPackage,
+                 limits: Optional[ExaminerLimits] = None,
+                 scripts: Optional[Dict[str, Sequence[ProofScript]]] = None):
+        """``scripts`` maps a subprogram name to the proof scripts to try,
+        in order, on each of its undischarged VCs."""
+        self.typed = typed
+        self.limits = limits
+        self.scripts = scripts or {}
+
+    def run(self, subprogram_names: Optional[Sequence[str]] = None
+            ) -> ImplementationProofResult:
+        started = time.perf_counter()
+        examiner = Examiner(self.typed, limits=self.limits)
+        report = examiner.examine(subprogram_names)
+        outcomes: List[VCOutcome] = []
+        auto_provers: Dict[str, AutoProver] = {}
+        interactive_provers: Dict[str, InteractiveProver] = {}
+        for analysis in report.per_subprogram.values():
+            for vc in analysis.vcs:
+                if vc.discharged_by_simplifier:
+                    outcomes.append(VCOutcome(vc=vc, stage="simplifier"))
+                    continue
+                prover = auto_provers.get(vc.subprogram)
+                if prover is None:
+                    prover = AutoProver(
+                        self.typed, subprogram_name=vc.subprogram,
+                        timeout_seconds=self.AUTO_TIMEOUT_SECONDS)
+                    auto_provers[vc.subprogram] = prover
+                result = prover.prove(vc.simplified.simplified)
+                if result.proved:
+                    outcomes.append(VCOutcome(vc=vc, stage="auto",
+                                              result=result))
+                    continue
+                outcome = self._try_scripts(
+                    vc, interactive_provers)
+                outcomes.append(outcome)
+        return ImplementationProofResult(
+            report=report,
+            outcomes=outcomes,
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    def _try_scripts(self, vc: VCRecord,
+                     interactive_provers: Dict[str, InteractiveProver]
+                     ) -> VCOutcome:
+        scripts = self.scripts.get(vc.subprogram, ())
+        if not scripts:
+            return VCOutcome(vc=vc, stage="undischarged")
+        prover = interactive_provers.get(vc.subprogram)
+        if prover is None:
+            prover = InteractiveProver(self.typed,
+                                       subprogram_name=vc.subprogram)
+            interactive_provers[vc.subprogram] = prover
+        for script in scripts:
+            result = prover.run_script(vc.simplified.simplified, script)
+            if result.proved:
+                return VCOutcome(vc=vc, stage="interactive", result=result)
+        return VCOutcome(vc=vc, stage="undischarged", result=result)

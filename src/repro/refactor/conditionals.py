@@ -1,0 +1,109 @@
+"""Moving statements into or out of conditionals (paper 5.1)."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..lang import TypedPackage, ast
+from .dataflow import reads_of_expr, writes_of_stmts
+from .engine import Transformation, TransformationError, get_block, \
+    replace_block
+
+__all__ = ["MoveIntoConditional", "MoveOutOfConditional"]
+
+
+@dataclass
+class MoveIntoConditional(Transformation):
+    """``S; if B then T1 else T2`` becomes ``if B then S; T1 else S; T2``
+    when S cannot affect B.  Reveals distinct execution paths so they can be
+    split into separate procedures (the paper's AES block 7)."""
+
+    subprogram: str
+    index: int  # index of S; the If must directly follow
+    path: Tuple = ()
+
+    name = "move-into-conditional"
+    category = "moving statements into or out of conditionals"
+
+    def describe(self) -> str:
+        return (f"move statement {self.index} of {self.subprogram} "
+                f"into the following conditional")
+
+    def affected_subprograms(self, typed):
+        return [self.subprogram]
+
+    def apply(self, typed: TypedPackage) -> ast.Package:
+        sp = typed.package.subprogram(self.subprogram)
+        block = get_block(sp.body, self.path)
+        if self.index + 1 >= len(block):
+            raise TransformationError(f"{self.name}: no statement after S")
+        moved = block[self.index]
+        conditional = block[self.index + 1]
+        if not isinstance(conditional, ast.If):
+            raise TransformationError(
+                f"{self.name}: statement after S is not an if")
+        written = writes_of_stmts([moved], typed)
+        for cond, _ in conditional.branches:
+            if written & reads_of_expr(cond):
+                raise TransformationError(
+                    f"{self.name}: S writes variables the condition reads")
+        branches = tuple((cond, (moved,) + body)
+                         for cond, body in conditional.branches)
+        # An absent else arm still executes S; materialize it.
+        else_body = (moved,) + conditional.else_body
+        new_if = ast.If(branches=branches, else_body=else_body)
+        new_block = block[:self.index] + (new_if,) + block[self.index + 2:]
+        new_body = replace_block(sp.body, self.path, new_block)
+        return typed.package.replace_subprogram(
+            self.subprogram, dataclasses.replace(sp, body=new_body))
+
+
+@dataclass
+class MoveOutOfConditional(Transformation):
+    """Hoist a statement that every arm of an if starts with."""
+
+    subprogram: str
+    index: int  # index of the If
+    path: Tuple = ()
+
+    name = "move-out-of-conditional"
+    category = "moving statements into or out of conditionals"
+
+    def describe(self) -> str:
+        return (f"hoist the common first statement out of the conditional "
+                f"at {self.index} in {self.subprogram}")
+
+    def affected_subprograms(self, typed):
+        return [self.subprogram]
+
+    def apply(self, typed: TypedPackage) -> ast.Package:
+        sp = typed.package.subprogram(self.subprogram)
+        block = get_block(sp.body, self.path)
+        conditional = block[self.index]
+        if not isinstance(conditional, ast.If):
+            raise TransformationError(f"{self.name}: target is not an if")
+        arms = [body for _, body in conditional.branches]
+        arms.append(conditional.else_body)
+        if any(not arm for arm in arms):
+            raise TransformationError(f"{self.name}: an arm is empty")
+        first = arms[0][0]
+        if any(arm[0] != first for arm in arms):
+            raise TransformationError(
+                f"{self.name}: arms do not share a common first statement")
+        written = writes_of_stmts([first], typed)
+        for cond, _ in conditional.branches:
+            if written & reads_of_expr(cond):
+                raise TransformationError(
+                    f"{self.name}: hoisted statement writes variables a "
+                    f"condition reads")
+        branches = tuple((cond, body[1:])
+                         for cond, body in conditional.branches)
+        new_if = ast.If(branches=branches,
+                        else_body=conditional.else_body[1:])
+        new_block = (block[:self.index] + (first, new_if)
+                     + block[self.index + 1:])
+        new_body = replace_block(sp.body, self.path, new_block)
+        return typed.package.replace_subprogram(
+            self.subprogram, dataclasses.replace(sp, body=new_body))

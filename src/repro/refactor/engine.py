@@ -1,0 +1,287 @@
+"""The transformation engine (Stratego/XT substitute) and its process loop.
+
+A :class:`Transformation` checks applicability mechanically and applies
+itself mechanically; the :class:`RefactoringEngine` wraps application with
+
+* re-analysis (type checking) of the transformed package,
+* a semantics-preservation theorem per application (section 5.1), checked
+  on the engine's *observable* subprograms -- the package interface whose
+  behaviour refactoring must preserve,
+* a history of snapshots (the paper: "removing a transformation is made
+  possible by recording the software's state prior to the application of
+  each transformation").
+
+Statement addressing: many transformations target a *block* -- a statement
+sequence inside a subprogram body.  A block path is a tuple of steps from
+the body: an integer descends into that statement (a For/While body), and
+``("then", k)`` / ``("else",)`` descend into branch ``k`` / the else arm of
+an If.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..equiv import EquivalenceTheorem, prove_equivalence
+from ..lang import TypedPackage, analyze, ast
+from ..lang.errors import TypeError_
+
+__all__ = [
+    "TransformationError", "Transformation", "Application",
+    "RefactoringEngine", "get_block", "replace_block",
+]
+
+
+class TransformationError(Exception):
+    """The transformation is not applicable (with the reason)."""
+
+
+# ---------------------------------------------------------------------------
+# Block paths
+# ---------------------------------------------------------------------------
+
+def get_block(body: Tuple[ast.Stmt, ...],
+              path: Sequence = ()) -> Tuple[ast.Stmt, ...]:
+    """Resolve a block path to the statement tuple it denotes."""
+    block = body
+    for step in path:
+        if isinstance(step, int):
+            stmt = block[step]
+            if isinstance(stmt, (ast.For, ast.While)):
+                block = stmt.body
+            else:
+                raise TransformationError(
+                    f"path step {step} is not a loop statement")
+        elif isinstance(step, tuple) and step and step[0] == "then":
+            stmt_index, branch = step[1], step[2]
+            stmt = block[stmt_index]
+            if not isinstance(stmt, ast.If):
+                raise TransformationError("path step expects an if")
+            block = stmt.branches[branch][1]
+        elif isinstance(step, tuple) and step and step[0] == "else":
+            stmt = block[step[1]]
+            if not isinstance(stmt, ast.If):
+                raise TransformationError("path step expects an if")
+            block = stmt.else_body
+        else:
+            raise TransformationError(f"bad path step {step!r}")
+    return block
+
+
+def replace_block(body: Tuple[ast.Stmt, ...], path: Sequence,
+                  new_block: Tuple[ast.Stmt, ...]) -> Tuple[ast.Stmt, ...]:
+    """Rebuild ``body`` with the block at ``path`` replaced."""
+    if not path:
+        return tuple(new_block)
+    step, rest = path[0], path[1:]
+    out = list(body)
+    if isinstance(step, int):
+        stmt = body[step]
+        if not isinstance(stmt, (ast.For, ast.While)):
+            raise TransformationError(f"path step {step} is not a loop")
+        out[step] = dataclasses.replace(
+            stmt, body=replace_block(stmt.body, rest, new_block))
+    elif isinstance(step, tuple) and step[0] == "then":
+        stmt_index, branch = step[1], step[2]
+        stmt = body[stmt_index]
+        branches = list(stmt.branches)
+        cond, b = branches[branch]
+        branches[branch] = (cond, replace_block(b, rest, new_block))
+        out[stmt_index] = dataclasses.replace(stmt, branches=tuple(branches))
+    elif isinstance(step, tuple) and step[0] == "else":
+        stmt = body[step[1]]
+        out[step[1]] = dataclasses.replace(
+            stmt, else_body=replace_block(stmt.else_body, rest, new_block))
+    else:
+        raise TransformationError(f"bad path step {step!r}")
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Transformations
+# ---------------------------------------------------------------------------
+
+class Transformation:
+    """Base class.  Subclasses set ``name`` and ``category`` (one of the
+    paper's section 5.1 categories) and implement ``apply``.
+
+    ``apply`` takes the current :class:`TypedPackage` and returns the
+    transformed :class:`~repro.lang.ast.Package`; it raises
+    :class:`TransformationError` when not applicable (the mechanical
+    applicability check)."""
+
+    name: str = "?"
+    category: str = "?"
+
+    def apply(self, typed: TypedPackage) -> ast.Package:
+        raise NotImplementedError
+
+    def affected_subprograms(self, typed: TypedPackage) -> List[str]:
+        """Subprograms whose semantics the theorem must check; default:
+        the engine's observables."""
+        return []
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass
+class Application:
+    """Record of one applied transformation (with its theorem)."""
+
+    transformation: str
+    category: str
+    description: str
+    theorems: List[EquivalenceTheorem] = field(default_factory=list)
+
+    @property
+    def preserved(self) -> bool:
+        return all(t.holds for t in self.theorems)
+
+
+class RefactoringEngine:
+    """Figure-1's Transformer + Transformation Proof Checker.
+
+    ``observables`` are the interface subprograms; each application's
+    preservation theorem is discharged on every observable that exists with
+    an unchanged signature on both sides.  ``check`` selects the evidence
+    budget: ``"full"`` (symbolic, then exhaustive, then differential),
+    ``"differential"`` (dynamic only; faster), or ``"none"`` (postpone the
+    proof, as section 5.2 explicitly permits)."""
+
+    def __init__(self, package: ast.Package,
+                 observables: Sequence[str],
+                 check: str = "full",
+                 trials: int = 24,
+                 seed: int = 20090701,
+                 samplers: Optional[dict] = None):
+        self.typed = analyze(package)
+        self.observables = list(observables)
+        self.check = check
+        self.trials = trials
+        self.seed = seed
+        #: observable name -> sampler(rng) -> initial state; restricts the
+        #: theorem to the meaningful input domain (documented precondition).
+        self.samplers = samplers or {}
+        self.history: List[Tuple[Application, ast.Package]] = []
+
+    @property
+    def package(self) -> ast.Package:
+        return self.typed.package
+
+    def apply(self, transformation: Transformation) -> Application:
+        before = self.typed
+        new_package = transformation.apply(before)
+        try:
+            after = analyze(new_package)
+        except TypeError_ as exc:
+            raise TransformationError(
+                f"{transformation.name}: transformed program does not "
+                f"type-check: {exc}")
+        application = Application(
+            transformation=transformation.name,
+            category=transformation.category,
+            description=transformation.describe(),
+        )
+        if self.check != "none":
+            for name in self._checkable(before, after, transformation):
+                theorem = self._theorem(before, after, name)
+                application.theorems.append(theorem)
+                if not theorem.holds:
+                    raise TransformationError(
+                        f"{transformation.name}: semantics NOT preserved for "
+                        f"{name}: {theorem.counterexample}")
+        self.history.append((application, before.package))
+        self.typed = after
+        return application
+
+    def undo(self) -> Application:
+        if not self.history:
+            raise TransformationError("nothing to undo")
+        application, package = self.history.pop()
+        self.typed = analyze(package)
+        return application
+
+    # -- internals --------------------------------------------------------
+
+    def _checkable(self, before: TypedPackage, after: TypedPackage,
+                   transformation: Transformation) -> List[str]:
+        explicit = transformation.affected_subprograms(before)
+        names = explicit or self.observables
+        out = []
+        for name in names:
+            if name in before.signatures and name in after.signatures:
+                b = before.signatures[name]
+                a = after.signatures[name]
+                if _same_signature(before, b, after, a):
+                    out.append(name)
+        return out
+
+    def _theorem(self, before: TypedPackage, after: TypedPackage,
+                 name: str) -> EquivalenceTheorem:
+        sampler = self.samplers.get(name)
+        if self.check == "differential":
+            from ..equiv.differential import differential_check
+            result = differential_check(before, name, after, name,
+                                        trials=self.trials, seed=self.seed,
+                                        sampler=sampler)
+            from ..equiv.theorem import _from_dynamic
+            return _from_dynamic(result, name, name, "differential",
+                                 proved=False)
+        return prove_equivalence(before, name, after, name,
+                                 trials=self.trials, seed=self.seed,
+                                 sampler=sampler)
+
+
+def _same_structural_type(before: TypedPackage, a_name: str,
+                          after: TypedPackage, b_name: str) -> bool:
+    """Compare resolved types structurally (a rename of a type does not
+    change the observable interface)."""
+    from ..lang.types import ArrayType, ModularType, RangeType
+    ta = before.types.get(a_name)
+    tb = after.types.get(b_name)
+    if ta is None or tb is None:
+        return a_name == b_name
+    if type(ta) is not type(tb):
+        return False
+    if isinstance(ta, ModularType):
+        return ta.modulus == tb.modulus
+    if isinstance(ta, RangeType):
+        return (ta.lo, ta.hi) == (tb.lo, tb.hi)
+    if isinstance(ta, ArrayType):
+        return (ta.lo, ta.hi) == (tb.lo, tb.hi) and \
+            _structurally_equal(ta.elem, tb.elem)
+    return True
+
+
+def _structurally_equal(ta, tb) -> bool:
+    from ..lang.types import ArrayType, ModularType, RangeType
+    if type(ta) is not type(tb):
+        return False
+    if isinstance(ta, ModularType):
+        return ta.modulus == tb.modulus
+    if isinstance(ta, RangeType):
+        return (ta.lo, ta.hi) == (tb.lo, tb.hi)
+    if isinstance(ta, ArrayType):
+        return (ta.lo, ta.hi) == (tb.lo, tb.hi) and \
+            _structurally_equal(ta.elem, tb.elem)
+    return True
+
+
+def _same_signature(before: TypedPackage, b, after: TypedPackage, a) -> bool:
+    if len(b.params) != len(a.params):
+        return False
+    for pb, pa in zip(b.params, a.params):
+        if (pb.name, pb.mode) != (pa.name, pa.mode):
+            return False
+        if not _same_structural_type(before, pb.type_name,
+                                     after, pa.type_name):
+            return False
+    if (b.return_type is None) != (a.return_type is None):
+        return False
+    if b.return_type is not None and not _same_structural_type(
+            before, b.return_type, after, a.return_type):
+        return False
+    return True

@@ -1,0 +1,190 @@
+"""Adjusting loop forms (paper 5.1, "Adjusting loop forms")."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..lang import TypedPackage, ast
+from .engine import Transformation, TransformationError, get_block, \
+    replace_block
+
+__all__ = ["ShiftLoopBounds", "SplitLoopNest", "MergeLoopNest"]
+
+
+def _substitute_name(stmts, name: str, replacement: ast.Expr):
+    def subst(node):
+        if isinstance(node, ast.Name) and node.id == name:
+            return replacement
+        return node
+
+    return tuple(ast.transform_bottom_up(s, subst) for s in stmts)
+
+
+def _the_loop(block, index) -> ast.For:
+    if index >= len(block) or not isinstance(block[index], ast.For):
+        raise TransformationError(f"statement {index} is not a for-loop")
+    return block[index]
+
+
+def _literal(expr: ast.Expr, what: str) -> int:
+    if not isinstance(expr, ast.IntLit):
+        raise TransformationError(f"{what} must be a literal bound")
+    return expr.value
+
+
+@dataclass
+class ShiftLoopBounds(Transformation):
+    """Re-base a loop to new bounds with an index remap:
+    ``for I in lo .. hi`` becomes ``for I in lo+d .. hi+d`` with every use
+    of I rewritten to ``I - d``.  Aligning loop ranges with the
+    specification's ranges simplifies invariants."""
+
+    subprogram: str
+    index: int
+    delta: int
+    path: Tuple = ()
+
+    name = "shift-loop-bounds"
+    category = "adjusting loop forms"
+
+    def describe(self) -> str:
+        return (f"shift bounds of loop {self.index} in {self.subprogram} "
+                f"by {self.delta}")
+
+    def affected_subprograms(self, typed):
+        return [self.subprogram]
+
+    def apply(self, typed: TypedPackage) -> ast.Package:
+        sp = typed.package.subprogram(self.subprogram)
+        block = get_block(sp.body, self.path)
+        loop = _the_loop(block, self.index)
+        lo = _literal(loop.lo, "loop low bound")
+        hi = _literal(loop.hi, "loop high bound")
+        remap: ast.Expr = ast.BinOp(op="-", left=ast.Name(id=loop.var),
+                                    right=ast.IntLit(value=self.delta))
+        if self.delta == 0:
+            raise TransformationError(f"{self.name}: delta of 0 is a no-op")
+        new_body = _substitute_name(loop.body, loop.var, remap)
+        new_loop = dataclasses.replace(
+            loop, lo=ast.IntLit(value=lo + self.delta),
+            hi=ast.IntLit(value=hi + self.delta), body=new_body)
+        new_block = block[:self.index] + (new_loop,) + block[self.index + 1:]
+        return typed.package.replace_subprogram(
+            self.subprogram,
+            dataclasses.replace(
+                sp, body=replace_block(sp.body, self.path, new_block)))
+
+
+@dataclass
+class SplitLoopNest(Transformation):
+    """``for K in 0 .. n*m-1`` becomes ``for I in 0 .. n-1: for J in
+    0 .. m-1`` with ``K = I*m + J`` -- recovering the two-dimensional
+    structure specifications use for the AES state."""
+
+    subprogram: str
+    index: int
+    inner: int  # m
+    outer_var: str = "I"
+    inner_var: str = "J"
+    path: Tuple = ()
+
+    name = "split-loop-nest"
+    category = "adjusting loop forms"
+
+    def describe(self) -> str:
+        return (f"split loop {self.index} of {self.subprogram} into a "
+                f"{self.outer_var}/{self.inner_var} nest (inner {self.inner})")
+
+    def affected_subprograms(self, typed):
+        return [self.subprogram]
+
+    def apply(self, typed: TypedPackage) -> ast.Package:
+        sp = typed.package.subprogram(self.subprogram)
+        block = get_block(sp.body, self.path)
+        loop = _the_loop(block, self.index)
+        lo = _literal(loop.lo, "loop low bound")
+        hi = _literal(loop.hi, "loop high bound")
+        if lo != 0:
+            raise TransformationError(f"{self.name}: loop must start at 0")
+        total = hi + 1
+        if total % self.inner != 0:
+            raise TransformationError(
+                f"{self.name}: {total} iterations do not factor by "
+                f"{self.inner}")
+        ctx = typed.context(self.subprogram)
+        for var in (self.outer_var, self.inner_var):
+            if ctx.var_type(var) is not None or var == loop.var:
+                raise TransformationError(
+                    f"{self.name}: variable '{var}' already in scope")
+        outer_count = total // self.inner
+        remap = ast.BinOp(
+            op="+",
+            left=ast.BinOp(op="*", left=ast.Name(id=self.outer_var),
+                           right=ast.IntLit(value=self.inner)),
+            right=ast.Name(id=self.inner_var))
+        new_body = _substitute_name(loop.body, loop.var, remap)
+        nest = ast.For(
+            var=self.outer_var, lo=ast.IntLit(value=0),
+            hi=ast.IntLit(value=outer_count - 1),
+            body=(ast.For(var=self.inner_var, lo=ast.IntLit(value=0),
+                          hi=ast.IntLit(value=self.inner - 1),
+                          body=new_body),))
+        new_block = block[:self.index] + (nest,) + block[self.index + 1:]
+        return typed.package.replace_subprogram(
+            self.subprogram,
+            dataclasses.replace(
+                sp, body=replace_block(sp.body, self.path, new_block)))
+
+
+@dataclass
+class MergeLoopNest(Transformation):
+    """Inverse of :class:`SplitLoopNest`: flatten a perfect 2-level nest."""
+
+    subprogram: str
+    index: int
+    var: str = "K"
+    path: Tuple = ()
+
+    name = "merge-loop-nest"
+    category = "adjusting loop forms"
+
+    def describe(self) -> str:
+        return f"merge the loop nest at {self.index} in {self.subprogram}"
+
+    def affected_subprograms(self, typed):
+        return [self.subprogram]
+
+    def apply(self, typed: TypedPackage) -> ast.Package:
+        sp = typed.package.subprogram(self.subprogram)
+        block = get_block(sp.body, self.path)
+        outer = _the_loop(block, self.index)
+        if len(outer.body) != 1 or not isinstance(outer.body[0], ast.For):
+            raise TransformationError(
+                f"{self.name}: loop nest is not perfect")
+        inner = outer.body[0]
+        olo = _literal(outer.lo, "outer low")
+        ohi = _literal(outer.hi, "outer high")
+        ilo = _literal(inner.lo, "inner low")
+        ihi = _literal(inner.hi, "inner high")
+        if olo != 0 or ilo != 0:
+            raise TransformationError(f"{self.name}: loops must start at 0")
+        ctx = typed.context(self.subprogram)
+        if ctx.var_type(self.var) is not None:
+            raise TransformationError(
+                f"{self.name}: variable '{self.var}' already in scope")
+        m = ihi + 1
+        outer_remap = ast.BinOp(op="/", left=ast.Name(id=self.var),
+                                right=ast.IntLit(value=m))
+        inner_remap = ast.BinOp(op="mod", left=ast.Name(id=self.var),
+                                right=ast.IntLit(value=m))
+        body = _substitute_name(inner.body, outer.var, outer_remap)
+        body = _substitute_name(body, inner.var, inner_remap)
+        merged = ast.For(var=self.var, lo=ast.IntLit(value=0),
+                         hi=ast.IntLit(value=(ohi + 1) * m - 1), body=body)
+        new_block = block[:self.index] + (merged,) + block[self.index + 1:]
+        return typed.package.replace_subprogram(
+            self.subprogram,
+            dataclasses.replace(
+                sp, body=replace_block(sp.body, self.path, new_block)))

@@ -1,0 +1,77 @@
+"""Re-rolling unrolled loops (paper 5.1, "Rerolling loops")."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..lang import TypedPackage, ast
+from .engine import Transformation, TransformationError, get_block, \
+    replace_block
+from .unify import AntiUnifyError, anti_unify_groups
+
+__all__ = ["RerollLoop"]
+
+
+@dataclass
+class RerollLoop(Transformation):
+    """Turn ``count`` consecutive groups of ``group_size`` statements
+    (starting at ``start`` within the block at ``path``) into
+
+        for <var> in 0 .. count-1 loop <template> end loop;
+
+    The template is found by anti-unification; literals must vary affinely
+    with the group index.  A defect breaking the repetition pattern makes
+    this transformation mechanically inapplicable."""
+
+    subprogram: str
+    start: int
+    group_size: int
+    count: int
+    var: str = "I"
+    path: Tuple = ()
+
+    name = "reroll-loop"
+    category = "rerolling loops"
+
+    def describe(self) -> str:
+        return (f"reroll {self.count}x{self.group_size} statements in "
+                f"{self.subprogram} at {self.start} into a loop over "
+                f"{self.var}")
+
+    def affected_subprograms(self, typed):
+        return [self.subprogram]
+
+    def apply(self, typed: TypedPackage) -> ast.Package:
+        sp = _subprogram(typed, self.subprogram)
+        block = get_block(sp.body, self.path)
+        end = self.start + self.group_size * self.count
+        if self.start < 0 or end > len(block):
+            raise TransformationError(
+                f"{self.name}: range {self.start}..{end} outside block of "
+                f"{len(block)} statements")
+        ctx = typed.context(self.subprogram)
+        if ctx.var_type(self.var) is not None:
+            raise TransformationError(
+                f"{self.name}: loop variable '{self.var}' already in scope")
+        groups = [tuple(block[self.start + g * self.group_size:
+                              self.start + (g + 1) * self.group_size])
+                  for g in range(self.count)]
+        try:
+            template = anti_unify_groups(groups, self.var)
+        except AntiUnifyError as exc:
+            raise TransformationError(f"{self.name}: {exc}")
+        loop = ast.For(var=self.var, lo=ast.IntLit(value=0),
+                       hi=ast.IntLit(value=self.count - 1), body=template)
+        new_block = block[:self.start] + (loop,) + block[end:]
+        new_body = replace_block(sp.body, self.path, new_block)
+        new_sp = dataclasses.replace(sp, body=new_body)
+        return typed.package.replace_subprogram(self.subprogram, new_sp)
+
+
+def _subprogram(typed: TypedPackage, name: str) -> ast.Subprogram:
+    try:
+        return typed.package.subprogram(name)
+    except KeyError:
+        raise TransformationError(f"no subprogram named '{name}'")

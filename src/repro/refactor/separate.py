@@ -1,0 +1,88 @@
+"""Separating loops (paper 5.1, "Separating loops")."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+from ..lang import TypedPackage, ast
+from .dataflow import reads_writes
+from .engine import Transformation, TransformationError, get_block, \
+    replace_block
+
+__all__ = ["SeparateLoop"]
+
+
+def _array_accesses_only_at(stmts, array: str, loop_var: str) -> bool:
+    """Every reference to ``array`` indexes it with exactly the loop
+    variable (so iteration i touches only element i)."""
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.ArrayRef) and \
+                    isinstance(node.base, ast.Name) and node.base.id == array:
+                if node.index != ast.Name(id=loop_var):
+                    return False
+            elif isinstance(node, ast.Name) and node.id == array:
+                pass  # bare reference checked via the ArrayRef above
+    return True
+
+
+@dataclass
+class SeparateLoop(Transformation):
+    """``for i loop S1; S2 end`` becomes two loops when no value flows from
+    a later S2 iteration back into S1, and every S1->S2 flow is through
+    same-index array elements or loop-invariant scalars:
+
+    * S2 writes nothing S1 reads or writes;
+    * any variable S1 writes and S2 reads is an array accessed only at the
+      loop index on both sides."""
+
+    subprogram: str
+    index: int          # index of the loop in the block
+    split_at: int       # first statement of S2 within the loop body
+    path: Tuple = ()
+
+    name = "separate-loop"
+    category = "separating loops"
+
+    def describe(self) -> str:
+        return (f"separate loop {self.index} of {self.subprogram} at body "
+                f"statement {self.split_at}")
+
+    def affected_subprograms(self, typed):
+        return [self.subprogram]
+
+    def apply(self, typed: TypedPackage) -> ast.Package:
+        sp = typed.package.subprogram(self.subprogram)
+        block = get_block(sp.body, self.path)
+        if self.index >= len(block) or \
+                not isinstance(block[self.index], ast.For):
+            raise TransformationError(f"{self.name}: target is not a for-loop")
+        loop = block[self.index]
+        if not (0 < self.split_at < len(loop.body)):
+            raise TransformationError(f"{self.name}: bad split point")
+        first = loop.body[:self.split_at]
+        second = loop.body[self.split_at:]
+        r1, w1 = reads_writes(first, typed)
+        r2, w2 = reads_writes(second, typed)
+        if w2 & (r1 | w1):
+            raise TransformationError(
+                f"{self.name}: second part writes variables the first part "
+                f"uses ({sorted(w2 & (r1 | w1))})")
+        flows: Set[str] = w1 & r2
+        flows.discard(loop.var)
+        for var in sorted(flows):
+            if not (_array_accesses_only_at(first, var, loop.var)
+                    and _array_accesses_only_at(second, var, loop.var)):
+                raise TransformationError(
+                    f"{self.name}: cross-part flow through '{var}' is not "
+                    f"restricted to the loop index")
+        loop1 = dataclasses.replace(loop, body=first)
+        loop2 = dataclasses.replace(loop, body=second)
+        new_block = (block[:self.index] + (loop1, loop2)
+                     + block[self.index + 1:])
+        return typed.package.replace_subprogram(
+            self.subprogram,
+            dataclasses.replace(
+                sp, body=replace_block(sp.body, self.path, new_block)))

@@ -1,0 +1,25 @@
+"""VC generation and simplification (SPARK Examiner/Simplifier substitute).
+
+``Examiner`` drives weakest-precondition VC generation (:mod:`.wp`) with
+exception-freedom checks (:mod:`.translate`), under a resource budget
+(:mod:`.resources`) that reproduces the paper's "ran out of resources"
+behaviour on unrolled code, then simplifies each VC (:mod:`.simplifier`).
+"""
+
+from .examiner import Examiner, ExaminerReport, SubprogramAnalysis, VCRecord
+from .resources import (
+    ExaminerLimits, ResourceExhausted, ResourceMeter, WORK_UNITS_PER_SECOND,
+    simulated_seconds,
+)
+from .simplifier import SimplifiedVC, Simplifier, TypeBoundHook
+from .translate import Check, TranslationContext, translate_expr, type_bounds
+from .wp import Obligation, WPError, generate_obligations
+
+__all__ = [
+    "Examiner", "ExaminerReport", "SubprogramAnalysis", "VCRecord",
+    "ExaminerLimits", "ResourceExhausted", "ResourceMeter",
+    "WORK_UNITS_PER_SECOND", "simulated_seconds",
+    "Simplifier", "SimplifiedVC", "TypeBoundHook",
+    "Check", "TranslationContext", "translate_expr", "type_bounds",
+    "Obligation", "WPError", "generate_obligations",
+]

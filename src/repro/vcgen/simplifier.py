@@ -1,0 +1,227 @@
+"""The SPARK-Simplifier substitute.
+
+Takes generated VCs and applies, per VC:
+
+1. a context-free rewrite pass (rule families from
+   :mod:`repro.logic.rules`, with a *type-bound hook* supplying declared
+   ranges for program variables, array elements and function results);
+2. a contextual pass over the VC's implication structure: variable
+   equalities from hypotheses are substituted, interval bounds are
+   harvested into an environment, and the conclusion is re-decided;
+3. hypothesis pruning: hypotheses sharing no variables (transitively) with
+   the conclusion are dropped from the *reported* simplified VC, mirroring
+   how the SPARK simplifier shrinks FDL output.
+
+The result records whether the VC was fully discharged and the simplified
+residue (whose size figure 2(e) measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.typecheck import TypedPackage
+from ..lang.types import ArrayType, Type
+from ..logic import (
+    Rewriter, RewriteBudgetExceeded, Term, conj, default_rules, implies,
+    decide_relation, substitute_simplifying,
+)
+from ..logic.rules import Interval
+from .translate import type_bounds
+from .wp import Obligation
+
+__all__ = ["TypeBoundHook", "Simplifier", "SimplifiedVC"]
+
+
+def _base_var_name(name: str) -> str:
+    """Strip fresh-variable (``x%3``), old-value (``x@old``) and bound-var
+    (``i?``) decorations back to the declared program variable."""
+    for sep in ("%", "@", ".", "?"):
+        pos = name.find(sep)
+        if pos >= 0:
+            name = name[:pos]
+    return name
+
+
+class TypeBoundHook:
+    """Type-derived interval bounds for terms in one subprogram's VCs."""
+
+    def __init__(self, typed: TypedPackage, subprogram_name: str):
+        self.typed = typed
+        self._var_types: Dict[str, Type] = {}
+        ctx = typed.context(subprogram_name)
+        for name, t in ctx.vars.items():
+            self._var_types[name] = t
+        self._fn_returns: Dict[str, Type] = {}
+        for fname, sig in typed.signatures.items():
+            if sig.is_function:
+                self._fn_returns[fname] = typed.type_named(sig.return_type)
+        for pname, pf in typed.proof_functions.items():
+            self._fn_returns[pname] = typed.type_named(pf.return_type)
+
+    def _term_type(self, term: Term) -> Optional[Type]:
+        if term.op == "var":
+            return self._var_types.get(_base_var_name(term.value))
+        if term.op == "apply":
+            const = self.typed.constants.get(term.value)
+            if const is not None and isinstance(const[0], ArrayType):
+                return const[0].elem
+            return self._fn_returns.get(term.value)
+        if term.op == "select":
+            base_t = self._term_type(_store_root(term.args[0]))
+            if isinstance(base_t, ArrayType):
+                return base_t.elem
+            return None
+        return None
+
+    def __call__(self, term: Term) -> Optional[Interval]:
+        t = self._term_type(term)
+        if t is None:
+            return None
+        return type_bounds(t)
+
+
+def _store_root(term: Term) -> Term:
+    while term.op == "store":
+        term = term.args[0]
+    return term
+
+
+@dataclass
+class SimplifiedVC:
+    obligation: Obligation
+    simplified: Term
+    discharged: bool
+    work: int
+
+
+class Simplifier:
+    """Simplifies a batch of VCs for one subprogram."""
+
+    def __init__(self, typed: TypedPackage, subprogram_name: str,
+                 exclude_families: Tuple[str, ...] = (),
+                 max_work: Optional[int] = None):
+        self.hook = TypeBoundHook(typed, subprogram_name)
+        rules = default_rules(exclude_families=exclude_families,
+                              hook=self.hook)
+        self.exclude_families = exclude_families
+        self.rewriter = Rewriter(rules, max_work=max_work)
+
+    @property
+    def work(self) -> int:
+        return self.rewriter.stats.work
+
+    def simplify(self, obligation: Obligation) -> SimplifiedVC:
+        before = self.rewriter.stats.work
+        try:
+            term = self.rewriter.normalize(obligation.term)
+            term = self._contextual(term, {})
+        except RewriteBudgetExceeded:
+            raise
+        spent = self.rewriter.stats.work - before
+        return SimplifiedVC(
+            obligation=obligation,
+            simplified=term,
+            discharged=term.is_true,
+            work=spent,
+        )
+
+    # -- contextual simplification -------------------------------------------
+
+    def _contextual(self, term: Term, env: Dict[str, Interval]) -> Term:
+        """Walk nested implications, harvesting hypothesis facts."""
+        if term.op != "implies":
+            return self._decide(term, env)
+        hyp, concl = term.args
+        hyps = list(hyp.args) if hyp.op == "and" else [hyp]
+        local_env = dict(env)
+        equalities: Dict[str, Term] = {}
+        for h in hyps:
+            if h.is_false:
+                return conj()  # false hypotheses: trivially true VC
+            self._harvest(h, local_env, equalities)
+        if equalities:
+            concl = substitute_simplifying(concl, equalities)
+            concl = self.rewriter.normalize(concl)
+        concl = self._contextual(concl, local_env)
+        if concl.is_true:
+            return concl
+        # Re-decide with the harvested environment.
+        decided = self._decide(concl, local_env)
+        if decided.is_true or decided.is_false:
+            return decided
+        kept = self._prune(hyps, decided)
+        return implies(conj(*kept), decided)
+
+    def _harvest(self, h: Term, env: Dict[str, Interval],
+                 equalities: Dict[str, Term]):
+        if h.op == "eq":
+            a, b = h.args
+            if a.op == "var" and b.op == "int":
+                a, b = b, a
+            if b.op == "var" and a.op == "int":
+                env[b.value] = (a.value, a.value)
+                equalities.setdefault(b.value, a)
+            elif b.op == "var" and b.value not in a.free_vars():
+                equalities.setdefault(b.value, a)
+            elif a.op == "var" and a.value not in b.free_vars():
+                equalities.setdefault(a.value, b)
+        elif h.op == "le":
+            a, b = h.args
+            if a.op == "int" and b.op == "var":
+                lo, hi = env.get(b.value, (None, None))
+                lo = a.value if lo is None else max(lo, a.value)
+                env[b.value] = (lo, hi)
+            elif b.op == "int" and a.op == "var":
+                lo, hi = env.get(a.value, (None, None))
+                hi = b.value if hi is None else min(hi, b.value)
+                env[a.value] = (lo, hi)
+        elif h.op == "lt":
+            a, b = h.args
+            if a.op == "int" and b.op == "var":
+                lo, hi = env.get(b.value, (None, None))
+                lo = a.value + 1 if lo is None else max(lo, a.value + 1)
+                env[b.value] = (lo, hi)
+            elif b.op == "int" and a.op == "var":
+                lo, hi = env.get(a.value, (None, None))
+                hi = b.value - 1 if hi is None else min(hi, b.value - 1)
+                env[a.value] = (lo, hi)
+        elif h.op == "and":
+            for sub_h in h.args:
+                self._harvest(sub_h, env, equalities)
+
+    def _decide(self, concl: Term, env: Dict[str, Interval]) -> Term:
+        if "bounds" in self.exclude_families:
+            return concl
+        if concl.op == "and":
+            parts = [self._decide(c, env) for c in concl.args]
+            return conj(*parts)
+        if concl.op == "not":
+            from ..logic import neg
+            return neg(self._decide(concl.args[0], env))
+        decided = decide_relation(concl, env=env, hook=self.hook)
+        if decided is not None:
+            from ..logic import boolc
+            return boolc(decided)
+        return concl
+
+    def _prune(self, hyps: List[Term], concl: Term) -> List[Term]:
+        """Keep hypotheses transitively sharing variables with the conclusion."""
+        relevant = set(concl.free_vars())
+        kept = []
+        remaining = list(hyps)
+        changed = True
+        while changed:
+            changed = False
+            still = []
+            for h in remaining:
+                fv = h.free_vars()
+                if fv & relevant or not fv:
+                    kept.append(h)
+                    relevant |= fv
+                    changed = True
+                else:
+                    still.append(h)
+            remaining = still
+        return kept

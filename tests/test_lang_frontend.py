@@ -1,0 +1,214 @@
+"""Lexer / parser / printer tests for MiniAda."""
+
+import pytest
+
+from repro.lang import (
+    LexError, ParseError, parse_expression, parse_package, print_package,
+    tokenize,
+)
+from repro.lang import ast
+
+SAMPLE = """
+package Demo is
+
+   type Byte is mod 256;
+   type Word is mod 4294967296;
+   subtype Index is Integer range 0 .. 15;
+   type ByteArray is array (0 .. 15) of Byte;
+
+   Mask : constant Byte := 16#0F#;
+   Zeros : constant ByteArray := (others => 0);
+   Table : constant ByteArray := (1, 2, 3, 4, 5, 6, 7, 8,
+                                  9, 10, 11, 12, 13, 14, 15, others => 0);
+
+   --# function Spec_Sum (A : in ByteArray) return Byte;
+   --# rule Sum_Zero: Spec_Sum (Zeros) = 0;
+
+   function Low_Nibble (X : in Byte) return Byte
+   --# pre X >= 0;
+   --# post Result = (X and Mask);
+   is
+   begin
+      return X and Mask;
+   end Low_Nibble;
+
+   procedure Sum (A : in ByteArray; Total : out Byte)
+   --# post Total = Spec_Sum (A);
+   is
+      Acc : Byte;
+   begin
+      Acc := 0;
+      for I in 0 .. 15 loop
+         --# assert Acc >= 0;
+         Acc := Acc + A (I);
+      end loop;
+      Total := Acc;
+   end Sum;
+
+end Demo;
+"""
+
+
+class TestLexer:
+    def test_based_literals(self):
+        toks = tokenize("16#FF# 2#1010# 10#42#")
+        assert [t.value for t in toks[:-1]] == [255, 10, 42]
+
+    def test_underscores_in_numbers(self):
+        toks = tokenize("4_294_967_296")
+        assert toks[0].value == 4294967296
+
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("PACKAGE Package package")
+        assert all(t.kind == "kw" and t.value == "package" for t in toks[:-1])
+
+    def test_annotation_token(self):
+        toks = tokenize("--# pre X > 0;")
+        assert toks[0].kind == "annot" and toks[0].value == "pre"
+        assert toks[1].kind == "id" and toks[1].value == "X"
+
+    def test_plain_comment_skipped(self):
+        toks = tokenize("x -- this is a comment\ny")
+        assert [t.value for t in toks[:-1]] == ["x", "y"]
+
+    def test_symbols_maximal_munch(self):
+        toks = tokenize(":= .. => /= <= >=")
+        assert [t.value for t in toks[:-1]] == [":=", "..", "=>", "/=", "<=", ">="]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+    def test_bad_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a ? b")
+
+    def test_unterminated_based_literal(self):
+        with pytest.raises(LexError):
+            tokenize("16#FF")
+
+
+class TestParser:
+    def test_sample_package_structure(self):
+        pkg = parse_package(SAMPLE)
+        assert pkg.name == "Demo"
+        names = [type(d).__name__ for d in pkg.decls]
+        assert names == [
+            "ModTypeDecl", "ModTypeDecl", "SubtypeDecl", "ArrayTypeDecl",
+            "ConstDecl", "ConstDecl", "ConstDecl",
+            "ProofFunctionDecl", "ProofRuleDecl",
+        ]
+        assert [sp.name for sp in pkg.subprograms] == ["Low_Nibble", "Sum"]
+
+    def test_function_annotations_attached(self):
+        pkg = parse_package(SAMPLE)
+        fn = pkg.subprogram("Low_Nibble")
+        assert len(fn.pre) == 1 and len(fn.post) == 1
+        assert fn.is_function
+
+    def test_loop_with_assert(self):
+        pkg = parse_package(SAMPLE)
+        proc = pkg.subprogram("Sum")
+        loop = next(s for s in proc.body if isinstance(s, ast.For))
+        assert isinstance(loop.body[0], ast.Assert)
+
+    def test_aggregate_others(self):
+        pkg = parse_package(SAMPLE)
+        zeros = pkg.decl("Zeros")
+        assert isinstance(zeros.value, ast.Aggregate)
+        assert zeros.value.items == ()
+        assert zeros.value.others == ast.IntLit(0)
+
+    def test_expression_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+    def test_relation_binds_looser_than_arith(self):
+        e = parse_expression("A + 1 = B * 2")
+        assert e.op == "="
+
+    def test_logical_mixing_requires_parens(self):
+        with pytest.raises(ParseError):
+            parse_expression("A and B or C")
+        e = parse_expression("(A and B) or C")
+        assert e.op == "or"
+
+    def test_and_then(self):
+        e = parse_expression("A and then B")
+        assert e.op == "and_then"
+
+    def test_chained_indexing(self):
+        e = parse_expression("S (I) (J)")
+        assert isinstance(e, ast.App) and isinstance(e.prefix, ast.App)
+
+    def test_old_expression(self):
+        e = parse_expression("X~ + 1")
+        assert isinstance(e.left, ast.OldExpr)
+
+    def test_forall(self):
+        e = parse_expression("(for all I in 0 .. 15 => (A (I) = 0))")
+        assert isinstance(e, ast.ForAll)
+        assert e.var == "I"
+
+    def test_mismatched_end_name(self):
+        with pytest.raises(ParseError):
+            parse_package("package P is end Q;")
+
+    def test_reverse_for(self):
+        pkg = parse_package("""
+package P is
+   procedure Q is
+      X : Integer;
+   begin
+      for I in reverse 1 .. 3 loop
+         X := I;
+      end loop;
+   end Q;
+end P;
+""")
+        loop = pkg.subprogram("Q").body[0]
+        assert loop.reverse
+
+    def test_multi_param_groups(self):
+        pkg = parse_package("""
+package P is
+   procedure Q (A, B : in Integer; C : out Integer) is
+   begin
+      C := A + B;
+   end Q;
+end P;
+""")
+        params = pkg.subprogram("Q").params
+        assert [(p.name, p.mode) for p in params] == [
+            ("A", "in"), ("B", "in"), ("C", "out")]
+
+
+class TestPrinterRoundTrip:
+    def test_roundtrip_stable(self):
+        pkg = parse_package(SAMPLE)
+        text1 = print_package(pkg)
+        pkg2 = parse_package(text1)
+        text2 = print_package(pkg2)
+        assert text1 == text2
+        assert pkg == pkg2
+
+    def test_hex_printing(self):
+        pkg = parse_package(SAMPLE)
+        text = print_package(pkg)
+        assert "16#" not in text.split("Mask")[0]  # nothing weird before
+        # Large values render in hex; Mask (15) stays decimal.
+        assert "Mask : constant Byte := 15;" in text
+
+    def test_aggregate_wrapping(self):
+        entries = ", ".join(str(1000 + i) for i in range(64))
+        src = f"""
+package P is
+   type WordTable is array (0 .. 63) of Integer;
+   T : constant WordTable := ({entries});
+end P;
+"""
+        pkg = parse_package(src)
+        text = print_package(pkg)
+        assert max(len(line) for line in text.splitlines()) < 100
+        assert parse_package(text) == pkg

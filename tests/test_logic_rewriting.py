@@ -1,0 +1,104 @@
+"""Rewriter, rules, printer and measurement unit tests."""
+
+import pytest
+
+from repro.logic import (
+    FALSE, TRUE, Rewriter, RewriteBudgetExceeded, add, band, conj,
+    decide_relation, default_rules, disj, eq, forall, implies, intc,
+    interval_of, ite, le, lt, mk, modi, mul, neg, render, render_full,
+    rule_families, select, shr, store, sub, var, xor,
+)
+
+
+class TestRewriter:
+    def test_raw_terms_are_canonicalized(self):
+        # Shape-preserving substitution leaves raw nodes; the rewriter must
+        # fold them (regression: (I + 1) + -1 failed to fold).
+        raw = mk("add", (mk("add", (var("i"), intc(1))), intc(-1)))
+        rewriter = Rewriter(default_rules())
+        assert rewriter.normalize(raw) is var("i")
+
+    def test_interval_rule_discharges_bounds(self):
+        rewriter = Rewriter(default_rules())
+        goal = le(band(var("x"), intc(255)), intc(255))
+        assert rewriter.normalize(goal) is TRUE
+
+    def test_vacuous_forall_rule(self):
+        rewriter = Rewriter(default_rules())
+        k = var("k?")
+        body = implies(conj(le(intc(0), k), le(k, intc(-1))),
+                       eq(select(var("a"), k), intc(0)))
+        assert rewriter.normalize(forall(["k?"], body)) is TRUE
+
+    def test_not_relation_rule(self):
+        rewriter = Rewriter(default_rules())
+        assert rewriter.normalize(neg(lt(var("a"), var("b")))) is \
+            le(var("b"), var("a"))
+
+    def test_budget_exceeded(self):
+        rewriter = Rewriter(default_rules(), max_work=5)
+        big = xor(*[band(var(f"x{i}"), intc(255)) for i in range(50)])
+        with pytest.raises(RewriteBudgetExceeded):
+            rewriter.normalize(le(big, intc(10**9)))
+
+    def test_work_accounting(self):
+        rewriter = Rewriter(default_rules())
+        rewriter.normalize(le(modi(var("x"), intc(16)), intc(15)))
+        assert rewriter.stats.work > 0
+        assert rewriter.stats.rules_applied >= 1
+
+    def test_family_exclusion(self):
+        rules = default_rules(exclude_families=("bounds",))
+        rewriter = Rewriter(rules)
+        goal = le(band(var("x"), intc(255)), intc(255))
+        assert rewriter.normalize(goal) is not TRUE
+
+    def test_rule_families_complete(self):
+        assert set(rule_families()) == {"bounds", "boolean", "equality",
+                                        "arrays"}
+
+
+class TestIntervals:
+    def test_shr_of_masked(self):
+        t = shr(band(var("x"), intc(0xFFFF)), intc(8))
+        assert interval_of(t) == (0, 0xFF)
+
+    def test_mod_literal(self):
+        assert interval_of(modi(var("x"), intc(4))) == (0, 3)
+
+    def test_decide_relation_with_env(self):
+        env = {"i": (0, 9)}
+        assert decide_relation(le(var("i"), intc(9)), env=env) is True
+        assert decide_relation(lt(intc(10), var("i")), env=env) is False
+
+    def test_hook_overrides(self):
+        hook = lambda t: (0, 7) if t.op == "var" and t.value == "b" else None
+        assert decide_relation(le(var("b"), intc(7)), hook=hook) is True
+
+
+class TestRender:
+    def test_infix_forms(self):
+        # Commutative arguments are ordered by interning id, which depends
+        # on construction history; accept either order.
+        assert render_full(add(var("x"), intc(1))) in ("(x + 1)", "(1 + x)")
+        assert render_full(select(var("a"), intc(3))) == "a[3]"
+        assert render_full(ite(var("p"), intc(1), intc(2))) == \
+            "(if p then 1 else 2)"
+        text = render_full(store(var("a"), intc(0), intc(9)))
+        assert text == "store(a, 0, 9)"
+
+    def test_forall_renders(self):
+        q = forall(["k?"], lt(var("k?"), var("n")))
+        assert render_full(q) == "(forall k?: (k? < n))"
+
+    def test_budget_truncates(self):
+        big = xor(*[var(f"verylongname{i}") for i in range(100)])
+        text = render(big, max_chars=50)
+        assert len(text) <= 60
+        assert text.endswith("…")
+
+    def test_deep_term_renders_iteratively(self):
+        t = var("x")
+        for _ in range(5000):  # deeper than the default recursion limit
+            t = mk("not", (t,))  # raw: the builder would fold double negation
+        assert render(t, max_chars=100).endswith("…")

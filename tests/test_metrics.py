@@ -1,0 +1,95 @@
+"""Metrics analyzer tests."""
+
+import pytest
+
+from repro.lang import analyze, parse_package
+from repro.metrics import (
+    analyze_metrics, complexity_metrics, element_metrics, mccabe,
+    package_architecture, render_report,
+)
+
+SRC = """
+package M is
+
+   type Byte is mod 256;
+   type Arr is array (0 .. 7) of Byte;
+   K : constant Byte := 7;
+
+   function F (X : in Byte; Flag : in Boolean) return Byte is
+      Y : Byte;
+   begin
+      if Flag and then X > 3 then
+         Y := X + K;
+      elsif X > 1 then
+         Y := X;
+      else
+         Y := 0;
+      end if;
+      return Y;
+   end F;
+
+   procedure G (A : in Arr; B : out Arr) is
+   begin
+      for I in 0 .. 7 loop
+         for J in 0 .. 0 loop
+            B (I) := A (I);
+         end loop;
+      end loop;
+   end G;
+
+end M;
+"""
+
+
+@pytest.fixture(scope="module")
+def pkg():
+    return analyze(parse_package(SRC)).package
+
+
+class TestElements:
+    def test_counts(self, pkg):
+        m = element_metrics(pkg)
+        assert m.subprograms == 2
+        # F: if-statement + 3 assignments + return = 5; G: 2 loops + assign.
+        assert m.statements == 5 + 3
+        assert m.lines_of_code > 20
+        assert m.construct_nesting_level == 2
+        assert m.average_subprogram_size == pytest.approx(4.0)
+
+    def test_logical_sloc_includes_declarations(self, pkg):
+        m = element_metrics(pkg)
+        assert m.logical_sloc == m.statements + m.declarations
+
+
+class TestComplexity:
+    def test_mccabe(self, pkg):
+        # F: 1 + if(2 branches) + and_then = 4; G: 1 + 2 loops = 3.
+        assert mccabe(pkg.subprogram("F")) == 4
+        assert mccabe(pkg.subprogram("G")) == 3
+
+    def test_averages(self, pkg):
+        c = complexity_metrics(pkg)
+        assert c.average_mccabe == pytest.approx(3.5)
+        assert c.max_mccabe == 4
+        assert c.total_short_circuit == 1
+        assert c.max_loop_nesting == 2
+
+    def test_essential_complexity_structured(self, pkg):
+        c = complexity_metrics(pkg)
+        # Fully structured code with one function return: essential = 1.
+        assert c.per_subprogram["F"].essential == 1
+        assert c.per_subprogram["G"].essential == 1
+
+
+class TestArchitecture:
+    def test_package_architecture(self, pkg):
+        arch = package_architecture(pkg)
+        kinds = {(e.kind, e.name) for e in arch.elements}
+        assert ("type", "Byte") in kinds
+        assert ("table", "K") in kinds
+        assert ("function", "F") in kinds
+
+    def test_render_report(self, pkg):
+        text = render_report(analyze_metrics(pkg, label="demo"))
+        assert "avg McCabe" in text
+        assert "lines of code" in text

@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: term algebra, interval soundness, difference bounds, parser
+round-trips, interpreter-vs-spec agreement, and GF(2^8) algebra."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.aes import gf
+from repro.logic import (
+    add, band, bor, bnot, conj, disj, eq, intc, le, lt, modi, mul, neg,
+    shl, shr, substitute_simplifying, var, xor,
+)
+from repro.logic.measure import dag_size, tree_size
+from repro.logic.rules import interval_of
+from repro.prover import GroundEvaluator
+from repro.prover.linarith import build_dbm
+
+ints = st.integers(min_value=-1000, max_value=1000)
+nats = st.integers(min_value=0, max_value=1000)
+bytes_ = st.integers(min_value=0, max_value=255)
+
+
+# ---------------------------------------------------------------------------
+# Term algebra: the smart constructors implement the operators they claim.
+# ---------------------------------------------------------------------------
+
+class TestTermAlgebra:
+    @given(ints, ints, ints)
+    def test_add_folds_correctly(self, a, b, c):
+        t = add(intc(a), add(intc(b), intc(c)))
+        assert t is intc(a + b + c)
+
+    @given(nats, nats)
+    def test_xor_matches_python(self, a, b):
+        assert xor(intc(a), intc(b)) is intc(a ^ b)
+
+    @given(nats, nats)
+    def test_band_bor_match_python(self, a, b):
+        assert band(intc(a), intc(b)) is intc(a & b)
+        assert bor(intc(a), intc(b)) is intc(a | b)
+
+    @given(ints, ints)
+    def test_relations_match_python(self, a, b):
+        assert lt(intc(a), intc(b)).value == (a < b)
+        assert le(intc(a), intc(b)).value == (a <= b)
+        assert eq(intc(a), intc(b)).value == (a == b)
+
+    @given(bytes_)
+    def test_bnot_is_involution(self, a):
+        t = var("x")
+        assert bnot(bnot(t, 8), 8) is t
+        assert bnot(intc(a), 8) is intc(a ^ 0xFF)
+
+    @given(st.lists(nats, min_size=1, max_size=6))
+    def test_xor_self_cancellation(self, values):
+        terms = [var(f"v{i}") for i in range(len(values))]
+        doubled = terms + terms
+        assert xor(*doubled) is intc(0)
+
+    @given(ints, ints)
+    def test_substitution_evaluates(self, a, b):
+        expr = add(mul(var("x"), intc(3)), var("y"))
+        result = substitute_simplifying(expr, {"x": intc(a), "y": intc(b)})
+        assert result is intc(3 * a + b)
+
+
+# ---------------------------------------------------------------------------
+# Interval analysis soundness: the computed interval contains the value.
+# ---------------------------------------------------------------------------
+
+def _eval(term, env_values):
+    ev = GroundEvaluator()
+    grounded = substitute_simplifying(
+        term, {k: intc(v) for k, v in env_values.items()})
+    return ev.evaluate(grounded)
+
+
+class TestIntervalSoundness:
+    @given(nats, nats, st.integers(min_value=0, max_value=255))
+    @settings(max_examples=60)
+    def test_band_mod_shr_interval_sound(self, x, m, mask):
+        for build in (lambda: band(var("x"), intc(mask)),
+                      lambda: modi(var("x"), intc(m + 1)),
+                      lambda: shr(band(var("x"), intc(mask)), intc(2))):
+            term = build()
+            lo, hi = interval_of(term)
+            value = _eval(term, {"x": x})
+            if lo is not None:
+                assert lo <= value
+            if hi is not None:
+                assert value <= hi
+
+    @given(bytes_, bytes_)
+    @settings(max_examples=60)
+    def test_xor_interval_sound(self, a, b):
+        term = xor(band(var("x"), intc(0xFF)), band(var("y"), intc(0x3F)))
+        lo, hi = interval_of(term)
+        value = _eval(term, {"x": a, "y": b})
+        assert lo <= value <= hi
+
+
+# ---------------------------------------------------------------------------
+# Difference bounds: decisions agree with arithmetic on random models.
+# ---------------------------------------------------------------------------
+
+class TestDifferenceBounds:
+    @given(ints, ints, ints)
+    @settings(max_examples=60)
+    def test_transitivity(self, a, b, c):
+        from repro.logic import le as le_
+        x, y, z = var("x"), var("y"), var("z")
+        dbm = build_dbm([le_(x, y), le_(y, z)])
+        assert dbm.decide(le_(x, z)) is True
+
+    @given(st.integers(min_value=-50, max_value=50))
+    @settings(max_examples=40)
+    def test_diseq_tightening(self, c):
+        from repro.logic import le as le_, lt as lt_, ne as ne_
+        x, y = var("x"), var("y")
+        dbm = build_dbm([le_(x, y), ne_(x, y)])
+        assert dbm.decide(lt_(x, y)) is True
+
+
+# ---------------------------------------------------------------------------
+# Parser/printer round trips on generated programs.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def small_programs(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    body = []
+    for i in range(n):
+        value = draw(st.integers(min_value=0, max_value=10 ** 6))
+        op = draw(st.sampled_from(["+", "-", "*", "xor"]))
+        body.append(f"      X := (X {op} {value}) and 16#FFFF#;")
+    stmts = "\n".join(body)
+    return f"""
+package P is
+   type Word is mod 65536;
+   procedure Q (Start : in Word; X : out Word) is
+   begin
+      X := Start;
+{stmts}
+   end Q;
+end P;
+"""
+
+
+class TestRoundTrips:
+    @given(small_programs())
+    @settings(max_examples=30)
+    def test_parse_print_parse(self, source):
+        from repro.lang import parse_package, print_package
+        pkg = parse_package(source)
+        text = print_package(pkg)
+        assert parse_package(text) == pkg
+
+    @given(small_programs(), st.integers(min_value=0, max_value=65535))
+    @settings(max_examples=20)
+    def test_symbolic_summary_agrees_with_interpreter(self, source, start):
+        from repro.equiv import SymbolicExecutor
+        from repro.lang import Interpreter, analyze, parse_package
+        typed = analyze(parse_package(source))
+        concrete = Interpreter(typed).call_procedure("Q", [start, None])["X"]
+        summary = SymbolicExecutor(typed).execute("Q")
+        symbolic = substitute_simplifying(
+            summary.outputs["X"], {"Start": intc(start)})
+        assert GroundEvaluator().evaluate(symbolic) == concrete
+
+
+# ---------------------------------------------------------------------------
+# GF(2^8) algebra.
+# ---------------------------------------------------------------------------
+
+class TestGFAlgebra:
+    @given(bytes_, bytes_, bytes_)
+    @settings(max_examples=60)
+    def test_distributivity(self, a, b, c):
+        assert gf.gmul(a, b ^ c) == gf.gmul(a, b) ^ gf.gmul(a, c)
+
+    @given(bytes_, bytes_)
+    @settings(max_examples=60)
+    def test_commutativity(self, a, b):
+        assert gf.gmul(a, b) == gf.gmul(b, a)
+
+    @given(bytes_)
+    def test_xtime_is_mul2(self, a):
+        assert gf.xtime(a) == gf.gmul(a, 2)
+
+
+# ---------------------------------------------------------------------------
+# Measurement invariants.
+# ---------------------------------------------------------------------------
+
+class TestMeasures:
+    @given(st.integers(min_value=0, max_value=12))
+    def test_tree_vs_dag_on_doubling_chain(self, depth):
+        from repro.logic import mk
+        t = var("x")
+        for _ in range(depth):
+            t = mk("mul", (t, t))
+        assert dag_size(t) == depth + 1
+        assert tree_size(t) == 2 ** (depth + 1) - 1

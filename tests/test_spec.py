@@ -1,0 +1,160 @@
+"""MiniPVS specification language tests."""
+
+import pytest
+
+from repro.spec import (
+    SpecEvalError, SpecEvaluator, SpecTypeError, check_theory,
+    discharge_tccs, parse_theory, print_theory, spec_line_count,
+)
+from repro.spec import ast as s
+
+DEMO = """
+THEORY Demo
+  TYPE Byte = NAT UPTO 255
+  TYPE Nibble = NAT UPTO 15
+  TYPE Quad = ARRAY 4 OF Byte
+
+  CONST Twice : ARRAY 8 OF Byte = [0, 2, 4, 6, 8, 10, 12, 14]
+
+  FUN Low (B : Byte) : Nibble = BITAND(B, 15)
+
+  FUN SwapAdd (A : Byte, B : Byte) : NAT = A + B
+
+  FUN MapLow (Q : Quad) : ARRAY 4 OF Nibble =
+      BUILD I : 4 . Low(Q[I])
+
+  FUN Pick (B : Nibble) : Byte =
+      IF B < 8 THEN Twice[B] ELSE 255 ENDIF
+
+  REC FUN Sum (N : NAT UPTO 100) : NAT MEASURE N =
+      IF N = 0 THEN 0 ELSE N + Sum(N - 1) ENDIF
+END Demo
+"""
+
+
+class TestParser:
+    def test_theory_structure(self):
+        theory = parse_theory(DEMO)
+        assert theory.name == "Demo"
+        assert [t.name for t in theory.types()] == ["Byte", "Nibble", "Quad"]
+        assert [c.name for c in theory.constants()] == ["Twice"]
+        assert [f.name for f in theory.functions()] == [
+            "Low", "SwapAdd", "MapLow", "Pick", "Sum"]
+
+    def test_recursive_flag_and_measure(self):
+        theory = parse_theory(DEMO)
+        fn = theory.decl("Sum")
+        assert fn.recursive
+        assert fn.measure == s.Var(name="N")
+
+    def test_mismatched_end(self):
+        with pytest.raises(Exception, match="ends with"):
+            parse_theory("THEORY A END B")
+
+    def test_roundtrip(self):
+        theory = parse_theory(DEMO)
+        text = print_theory(theory)
+        again = parse_theory(text)
+        assert print_theory(again) == text
+
+    def test_line_count_positive(self):
+        theory = parse_theory(DEMO)
+        assert spec_line_count(theory) >= 10
+
+
+class TestEvaluator:
+    def setup_method(self):
+        self.ev = SpecEvaluator(parse_theory(DEMO))
+
+    def test_table(self):
+        assert self.ev.constant("Twice") == (0, 2, 4, 6, 8, 10, 12, 14)
+
+    def test_bitand_builtin(self):
+        assert self.ev.call("Low", [0xAB]) == 0x0B
+
+    def test_build(self):
+        assert self.ev.call("MapLow", [(0x12, 0x34, 0x56, 0x78)]) == \
+            (2, 4, 6, 8)
+
+    def test_if(self):
+        assert self.ev.call("Pick", [3]) == 6
+        assert self.ev.call("Pick", [9]) == 255
+
+    def test_recursion(self):
+        assert self.ev.call("Sum", [10]) == 55
+
+    def test_index_out_of_bounds(self):
+        with pytest.raises(SpecEvalError, match="out of bounds"):
+            self.ev.call("Pick", [-1])  # Twice[-1]
+
+
+class TestTypecheckTCCs:
+    def test_demo_tccs_all_discharge(self):
+        theory = parse_theory(DEMO)
+        check = check_theory(theory)
+        assert check.tccs  # index TCCs from Twice[B], termination from Sum
+        report = discharge_tccs(theory, check.tccs)
+        assert report.all_discharged, [t.kind for t in report.unproved]
+
+    def test_termination_tcc_generated(self):
+        theory = parse_theory(DEMO)
+        check = check_theory(theory)
+        kinds = {t.kind for t in check.tccs}
+        assert "termination" in kinds
+
+    def test_undischargeable_index_survives(self):
+        bad = """
+THEORY Bad
+  CONST T : ARRAY 4 OF NAT UPTO 9 = [1, 2, 3, 4]
+  FUN F (N : NAT) : NAT = T[N]
+END Bad
+"""
+        theory = parse_theory(bad)
+        check = check_theory(theory)
+        report = discharge_tccs(theory, check.tccs)
+        assert not report.all_discharged
+        assert report.unproved[0].kind == "index"
+
+    def test_subsumption_counted(self):
+        dup = """
+THEORY Dup
+  CONST T : ARRAY 256 OF NAT UPTO 255 = [others]
+  FUN F (N : NAT) : NAT = T[BITAND(N, 255)] + T[BITAND(N, 255)]
+END Dup
+""".replace("[others]", "[" + ", ".join("1" for _ in range(256)) + "]")
+        theory = parse_theory(dup)
+        check = check_theory(theory)
+        report = discharge_tccs(theory, check.tccs)
+        assert report.subsumed >= 1
+        assert report.all_discharged
+
+    def test_missing_measure_rejected(self):
+        bad = """
+THEORY Bad
+  FUN Loop (N : NAT) : NAT = Loop(N)
+END Bad
+"""
+        with pytest.raises(SpecTypeError, match="MEASURE|recursive"):
+            check_theory(parse_theory(bad))
+
+    def test_nat_subtraction_tcc(self):
+        theory = parse_theory("""
+THEORY Subs
+  FUN F (N : NAT UPTO 10) : NAT = N - 20
+END Subs
+""")
+        check = check_theory(theory)
+        report = discharge_tccs(theory, check.tccs)
+        assert not report.all_discharged
+        assert report.unproved[0].kind == "subrange"
+
+    def test_branch_type_join(self):
+        theory = parse_theory("""
+THEORY J
+  TYPE Byte = NAT UPTO 255
+  FUN F (B : Byte, C : BOOL) : Byte = IF C THEN B ELSE 0 ENDIF
+END J
+""")
+        check = check_theory(theory)
+        report = discharge_tccs(theory, check.tccs)
+        assert report.all_discharged

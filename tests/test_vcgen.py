@@ -1,0 +1,399 @@
+"""VC generation and simplification tests."""
+
+import pytest
+
+from repro.lang import analyze, parse_package
+from repro.logic import render_full
+from repro.logic.measure import tree_bytes
+from repro.vcgen import (
+    Examiner, ExaminerLimits, Obligation, WPError, generate_obligations,
+)
+
+
+def examine(src, **kwargs):
+    typed = analyze(parse_package(src))
+    return Examiner(typed, **kwargs).examine(), typed
+
+
+class TestBasicVCs:
+    def test_trivially_safe_program_discharges(self):
+        report, _ = examine("""
+package P is
+   type Byte is mod 256;
+   type Arr is array (0 .. 15) of Byte;
+   procedure Q (A : in Arr; B : out Arr) is
+   begin
+      for I in 0 .. 15 loop
+         B (I) := A (I);
+      end loop;
+   end Q;
+end P;
+""")
+        assert report.feasible
+        assert report.vc_count > 0
+        assert report.discharged_count == report.vc_count
+
+    def test_unprovable_index_survives(self):
+        report, _ = examine("""
+package P is
+   type Arr is array (0 .. 15) of Integer;
+   procedure Q (A : in Arr; I : in Integer; Y : out Integer) is
+   begin
+      Y := A (I);
+   end Q;
+end P;
+""")
+        assert report.feasible
+        left = report.undischarged()
+        assert len(left) == 1
+        assert left[0].kind == "index"
+
+    def test_masked_index_discharged(self):
+        # The canonical AES idiom: indexing a 256-entry table with x & 255.
+        report, _ = examine("""
+package P is
+   type Byte is mod 256;
+   type Word is mod 4294967296;
+   type Table is array (0 .. 255) of Word;
+   T : constant Table := (others => 0);
+   procedure Q (X : in Word; Y : out Word) is
+   begin
+      Y := T (Integer (Shift_Right (X, 24) and 255));
+   end Q;
+end P;
+""")
+        assert report.discharged_count == report.vc_count
+
+    def test_byte_typed_index_discharged_via_type_bounds(self):
+        report, _ = examine("""
+package P is
+   type Byte is mod 256;
+   type Table is array (0 .. 255) of Byte;
+   S : constant Table := (others => 1);
+   procedure Q (X : in Byte; Y : out Byte) is
+   begin
+      Y := S (Integer (X));
+   end Q;
+end P;
+""")
+        assert report.discharged_count == report.vc_count
+
+    def test_array_element_bounds_known(self):
+        # Indexing a table by an element of a Byte array is safe by type.
+        report, _ = examine("""
+package P is
+   type Byte is mod 256;
+   type Table is array (0 .. 255) of Byte;
+   type Arr is array (0 .. 15) of Byte;
+   S : constant Table := (others => 1);
+   procedure Q (A : in Arr; Y : out Byte) is
+   begin
+      Y := S (Integer (A (3)));
+   end Q;
+end P;
+""")
+        assert report.discharged_count == report.vc_count
+
+    def test_division_check(self):
+        report, _ = examine("""
+package P is
+   procedure Q (A : in Integer; B : in Integer; Y : out Integer)
+   --# pre B > 0;
+   is
+   begin
+      Y := A / B;
+   end Q;
+end P;
+""")
+        # The precondition B > 0 must make the div check provable... by the
+        # prover; the simplifier's contextual pass already handles it since
+        # the hypothesis is harvested as an interval.
+        assert report.feasible
+        assert report.discharged_count == report.vc_count
+
+    def test_division_without_pre_survives(self):
+        report, _ = examine("""
+package P is
+   procedure Q (A : in Integer; B : in Integer; Y : out Integer) is
+   begin
+      Y := A / B;
+   end Q;
+end P;
+""")
+        kinds = [vc.kind for vc in report.undischarged()]
+        assert kinds == ["div"]
+
+
+class TestLoopsAndCuts:
+    def test_loop_invariant_vcs_generated(self):
+        report, typed = examine("""
+package P is
+   procedure Q (N : in Integer; Y : out Integer)
+   --# pre N >= 0;
+   --# post Y = N;
+   is
+   begin
+      Y := 0;
+      for I in 1 .. N loop
+         --# assert Y = I - 1;
+         Y := Y + 1;
+      end loop;
+   end Q;
+end P;
+""")
+        kinds = {vc.kind for vc in report.all_vcs()}
+        assert "invariant" in kinds
+        assert "post" in kinds
+
+    def test_loop_counter_bounds_available_in_body(self):
+        report, _ = examine("""
+package P is
+   type Arr is array (0 .. 9) of Integer;
+   procedure Q (A : out Arr) is
+   begin
+      for I in 0 .. 9 loop
+         A (I) := I;
+      end loop;
+   end Q;
+end P;
+""")
+        assert report.discharged_count == report.vc_count
+
+    def test_reverse_loop_counter_bounds(self):
+        report, _ = examine("""
+package P is
+   type Arr is array (0 .. 9) of Integer;
+   procedure Q (A : out Arr) is
+   begin
+      for I in reverse 0 .. 9 loop
+         A (I) := I;
+      end loop;
+   end Q;
+end P;
+""")
+        assert report.discharged_count == report.vc_count
+
+    def test_loop_bounds_modified_in_body_rejected(self):
+        typed = analyze(parse_package("""
+package P is
+   procedure Q (N : in Integer; Y : out Integer) is
+      H : Integer;
+   begin
+      H := N;
+      for I in 0 .. H loop
+         H := H + 1;
+         Y := I;
+      end loop;
+   end Q;
+end P;
+"""))
+        sp = typed.signatures["Q"]
+        with pytest.raises(WPError, match="bounds depend"):
+            generate_obligations(typed, sp)
+
+    def test_straight_line_cut_forgets_context(self):
+        # After a cut, only the asserted fact is available; a postcondition
+        # needing more must fail to discharge automatically.
+        report, _ = examine("""
+package P is
+   procedure Q (X : in Integer; Y : out Integer)
+   --# post Y = X + 1;
+   is
+   begin
+      Y := X + 1;
+      --# assert Y > X;
+      null;
+   end Q;
+end P;
+""")
+        posts = [vc for vc in report.undischarged() if vc.kind == "post"]
+        assert posts, "cut must have hidden Y = X + 1 from the postcondition"
+
+    def test_while_loop_with_invariant(self):
+        report, _ = examine("""
+package P is
+   procedure Q (N : in Integer; Y : out Integer)
+   --# pre N >= 0;
+   is
+      X : Integer;
+   begin
+      X := N;
+      Y := 0;
+      while X > 0 loop
+         --# assert X >= 0;
+         X := X - 1;
+         Y := Y + 1;
+      end loop;
+   end Q;
+end P;
+""")
+        assert report.feasible
+        kinds = {vc.kind for vc in report.all_vcs()}
+        assert "invariant" in kinds
+
+
+class TestReturnsAndCalls:
+    def test_early_returns_in_branches(self):
+        report, _ = examine("""
+package P is
+   function Sign (X : in Integer) return Integer
+   --# post Result <= 1;
+   is
+   begin
+      if X > 0 then
+         return 1;
+      elsif X < 0 then
+         return -1;
+      end if;
+      return 0;
+   end Sign;
+end P;
+""")
+        assert report.feasible
+        assert report.discharged_count == report.vc_count
+
+    def test_return_inside_loop_rejected(self):
+        typed = analyze(parse_package("""
+package P is
+   function F (N : in Integer) return Integer is
+   begin
+      for I in 0 .. N loop
+         return I;
+      end loop;
+      return 0;
+   end F;
+end P;
+"""))
+        with pytest.raises(WPError, match="return"):
+            generate_obligations(typed, typed.signatures["F"])
+
+    def test_call_precondition_checked_at_site(self):
+        report, _ = examine("""
+package P is
+   procedure Inner (X : in Integer; Y : out Integer)
+   --# pre X > 0;
+   is
+   begin
+      Y := X;
+   end Inner;
+   procedure Outer (A : in Integer; B : out Integer) is
+   begin
+      Inner (A, B);
+   end Outer;
+end P;
+""")
+        undischarged = [vc for vc in report.undischarged()
+                        if vc.subprogram == "Outer"]
+        assert [vc.kind for vc in undischarged] == ["precondition"]
+
+    def test_callee_post_assumed(self):
+        report, _ = examine("""
+package P is
+   procedure Inner (X : in Integer; Y : out Integer)
+   --# post Y = X + 1;
+   is
+   begin
+      Y := X + 1;
+   end Inner;
+   procedure Outer (A : in Integer; B : out Integer)
+   --# post B = A + 1;
+   is
+   begin
+      Inner (A, B);
+   end Outer;
+end P;
+""")
+        # Outer's postcondition should simplify away using Inner's contract.
+        outer = [vc for vc in report.undischarged()
+                 if vc.subprogram == "Outer"]
+        assert outer == []
+
+
+class TestResourceModel:
+    UNROLLED_HEADER = """
+package P is
+   type Word is mod 4294967296;
+   type Table is array (0 .. 255) of Word;
+   T : constant Table := (others => 1);
+   procedure Q (X0 : in Word; Y : out Word) is
+      A : Word;
+      B : Word;
+      C : Word;
+      D : Word;
+   begin
+      A := X0;
+      B := X0 xor 1;
+      C := X0 xor 2;
+      D := X0 xor 3;
+"""
+
+    @staticmethod
+    def unrolled_rounds(n):
+        # Each round makes every temporary depend on all four predecessors
+        # through table lookups: the tree form grows ~4x per round.
+        lines = []
+        for _ in range(n):
+            lines.append(
+                "      A := T (Integer (A and 255)) xor "
+                "T (Integer (B and 255)) xor T (Integer (C and 255)) xor "
+                "T (Integer (D and 255));")
+            lines.append("      B := A xor T (Integer (B and 255));")
+            lines.append("      C := B xor T (Integer (C and 255));")
+            lines.append("      D := C xor T (Integer (D and 255));")
+        return "\n".join(lines)
+
+    def source(self, rounds):
+        return (self.UNROLLED_HEADER + self.unrolled_rounds(rounds)
+                + "\n      Y := D;\n   end Q;\nend P;\n")
+
+    def test_tree_bytes_grow_with_unrolling(self):
+        sizes = []
+        for rounds in (2, 4, 6):
+            typed = analyze(parse_package(self.source(rounds)))
+            obls = generate_obligations(typed, typed.signatures["Q"])
+            sizes.append(sum(tree_bytes(o.term) for o in obls))
+        assert sizes[0] < sizes[1] < sizes[2]
+        # Strongly super-linear growth (the paper's explosion).
+        assert sizes[2] > 10 * sizes[1]
+
+    def test_budget_makes_analysis_infeasible(self):
+        limits = ExaminerLimits(max_tree_bytes=200_000)
+        report, _ = examine(self.source(12), limits=limits)
+        assert not report.feasible
+        assert report.infeasible_subprograms == ["Q"]
+
+    def test_same_program_feasible_with_big_budget(self):
+        limits = ExaminerLimits(max_tree_bytes=10**18)
+        report, _ = examine(self.source(6), limits=limits)
+        assert report.feasible
+
+    def test_rolled_loop_with_cut_stays_small(self):
+        rolled = """
+package P is
+   type Word is mod 4294967296;
+   type Table is array (0 .. 255) of Word;
+   type State is array (0 .. 3) of Word;
+   T : constant Table := (others => 1);
+   procedure Q (X : in State; Y : out State) is
+      S : State;
+   begin
+      for I in 0 .. 3 loop
+         S (I) := X (I);
+      end loop;
+      for R in 0 .. 9 loop
+         --# assert R >= 0;
+         for I in 0 .. 3 loop
+            S (I) := T (Integer (S (I) and 255)) xor S (I);
+         end loop;
+      end loop;
+      for I in 0 .. 3 loop
+         Y (I) := S (I);
+      end loop;
+   end Q;
+end P;
+"""
+        report, _ = examine(rolled)
+        assert report.feasible
+        unrolled_report, _ = examine(self.source(10),
+                                     limits=ExaminerLimits(max_tree_bytes=10**18))
+        assert report.generated_bytes * 100 < unrolled_report.generated_bytes

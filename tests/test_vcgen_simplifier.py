@@ -1,0 +1,93 @@
+"""Simplifier and examiner detail tests."""
+
+import pytest
+
+from repro.lang import analyze, parse_package
+from repro.vcgen import Examiner, ExaminerLimits, Obligation, Simplifier
+from repro.vcgen.simplifier import TypeBoundHook, _base_var_name
+from repro.logic import (
+    band, conj, eq, implies, intc, le, lt, select, var,
+)
+
+
+def analyzed(src):
+    return analyze(parse_package(src))
+
+
+PKG = analyzed("""
+package P is
+   type Byte is mod 256;
+   type Arr is array (0 .. 15) of Byte;
+   function Get (A : in Arr; I : in Integer) return Byte
+   --# pre I >= 0 and I <= 15;
+   is
+   begin
+      return A (I);
+   end Get;
+end P;
+""")
+
+
+class TestTypeBoundHook:
+    def setup_method(self):
+        self.hook = TypeBoundHook(PKG, "Get")
+
+    def test_var_bounds(self):
+        assert self.hook(var("I")) is None  # Integer: unbounded
+        # Fresh and old decorations resolve to the declared variable.
+        assert _base_var_name("A%3") == "A"
+        assert _base_var_name("X@old") == "X"
+        assert _base_var_name("K?") == "K"
+
+    def test_select_elem_bounds(self):
+        assert self.hook(select(var("A"), var("I"))) == (0, 255)
+
+    def test_function_result_bounds(self):
+        from repro.logic import apply
+        assert self.hook(apply("Get", var("A"), intc(0))) == (0, 255)
+
+
+class TestSimplifier:
+    def test_hypothesis_pruning(self):
+        simplifier = Simplifier(PKG, "Get")
+        # Hypotheses about unrelated variables are pruned from the residue.
+        vc = implies(conj(le(intc(0), var("I")),
+                          le(var("ZZZ"), intc(9)),
+                          le(var("I"), intc(20))),
+                     le(var("I"), intc(99)))
+        result = simplifier.simplify(Obligation(kind="t", term=vc))
+        assert result.discharged or "ZZZ" not in \
+            result.simplified.free_vars()
+
+    def test_contextual_equality_substitution(self):
+        simplifier = Simplifier(PKG, "Get")
+        vc = implies(conj(eq(var("x"), intc(7))),
+                     lt(var("x"), intc(8)))
+        result = simplifier.simplify(Obligation(kind="t", term=vc))
+        assert result.discharged
+
+    def test_false_hypothesis_discharges(self):
+        simplifier = Simplifier(PKG, "Get")
+        vc = implies(conj(lt(intc(5), intc(3))), le(var("q"), intc(0)))
+        result = simplifier.simplify(Obligation(kind="t", term=vc))
+        assert result.discharged
+
+
+class TestExaminerAccounting:
+    def test_precondition_makes_index_safe(self):
+        report = Examiner(PKG).examine(["Get"])
+        assert report.feasible
+        assert report.discharged_count == report.vc_count
+
+    def test_report_rollups(self):
+        report = Examiner(PKG).examine()
+        assert report.vc_count == sum(
+            a.vc_count for a in report.per_subprogram.values())
+        assert report.generated_bytes > 0
+        assert report.simulated_seconds >= 0.0
+        assert report.max_generated_lines >= 1
+
+    def test_statement_budget(self):
+        limits = ExaminerLimits(max_tree_bytes=None, max_wp_statements=0)
+        report = Examiner(PKG, limits=limits).examine(["Get"])
+        assert not report.feasible
