@@ -35,10 +35,22 @@ class EchoVerifier:
     def __init__(self, package: ast.Package, specification: sast.Theory,
                  observables: Sequence[str],
                  samplers: Optional[dict] = None,
-                 check: str = "full", trials: int = 24):
+                 check: str = "full", trials: int = 24,
+                 jobs: int = 1, cache=None, telemetry=None):
+        """``jobs``/``cache``/``telemetry`` configure the obligation
+        execution layer (:mod:`repro.exec`) for all three proof legs.
+        By default each verifier gets its own :class:`Telemetry`, whose
+        aggregate statistics land on the resulting
+        :class:`~repro.core.results.EchoResult`."""
+        from ..exec import Telemetry
+        self.jobs = jobs
+        self.cache = cache
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.engine = RefactoringEngine(package, observables=observables,
                                         check=check, trials=trials,
-                                        samplers=samplers)
+                                        samplers=samplers,
+                                        jobs=jobs, cache=cache,
+                                        telemetry=self.telemetry)
         self.specification = specification
         self.applications = []
 
@@ -62,12 +74,16 @@ class EchoVerifier:
         typed = annotate(source) if annotate is not None \
             else self.engine.typed
 
-        implementation = ImplementationProof(typed, scripts=scripts).run()
+        implementation = ImplementationProof(
+            typed, scripts=scripts, jobs=self.jobs, cache=self.cache,
+            telemetry=self.telemetry).run()
 
         extraction = extract_specification(typed)
         match = match_ratio(self.specification, extraction.theory)
         implication = prove_implication(self.specification,
-                                        extraction.theory)
+                                        extraction.theory,
+                                        jobs=self.jobs, cache=self.cache,
+                                        telemetry=self.telemetry)
 
         from ..metrics import element_metrics
         return EchoResult(
@@ -77,13 +93,20 @@ class EchoVerifier:
             match=match,
             extracted_lines=spec_line_count(extraction.theory),
             refactored_lines=element_metrics(typed.package).lines_of_code,
+            exec_stats=self.telemetry.stats(),
         )
 
 
-def verify_aes(check: str = "differential", trials: int = 6) -> EchoResult:
+def verify_aes(check: str = "differential", trials: int = 6,
+               jobs: int = 1, cache=None, telemetry=None) -> EchoResult:
     """The complete AES verification: optimized implementation, 14
     transformation blocks, annotation, implementation proof, extraction,
-    implication against FIPS-197."""
+    implication against FIPS-197.
+
+    ``jobs=N`` fans proof obligations out over a thread pool; ``jobs=1``
+    (the default) is the guaranteed-deterministic serial path.  Passing a
+    shared :class:`~repro.exec.ResultCache` across calls makes repeat
+    verification incremental (unchanged obligations replay from cache)."""
     from ..aes.annotations import build_annotated
     from ..aes.blocks import AESPipeline, transformation_blocks, \
         cipher_sampler
@@ -98,6 +121,7 @@ def verify_aes(check: str = "differential", trials: int = 6) -> EchoResult:
         observables=["Cipher", "Inv_Cipher"],
         samplers={"Cipher": cipher_sampler, "Inv_Cipher": cipher_sampler},
         check=check, trials=trials,
+        jobs=jobs, cache=cache, telemetry=telemetry,
     )
     for _, transformations in transformation_blocks():
         verifier.refactor(transformations)

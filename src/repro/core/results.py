@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..exec import ExecStats
 from ..extract import MatchRatio
 from ..implication import ImplicationResult
 from ..prover import ImplementationProofResult
@@ -25,6 +26,9 @@ class EchoResult:
     match: MatchRatio
     extracted_lines: int
     refactored_lines: int
+    #: aggregate obligation-execution statistics (scheduling, caching,
+    #: discharge times) for the run; None for hand-built results.
+    exec_stats: Optional[ExecStats] = None
 
     @property
     def refactoring_preserved(self) -> bool:
@@ -42,7 +46,7 @@ class EchoResult:
 
     def summary(self) -> str:
         impl = self.implementation
-        return "\n".join([
+        lines = [
             f"transformations applied      {len(self.applications)} "
             f"(all preserved: {self.refactoring_preserved})",
             f"implementation proof         {impl.total_vcs} VCs, "
@@ -53,5 +57,12 @@ class EchoResult:
             f"implication proof            {self.implication.lemma_count} "
             f"lemmas, holds: {self.implication.holds} "
             f"(proof strength: {self.implication.is_proof})",
-            f"VERIFIED: {self.verified}",
-        ])
+        ]
+        if self.exec_stats is not None and self.exec_stats.total:
+            stats = self.exec_stats
+            lines.append(
+                f"proof obligations            {stats.total} "
+                f"({sum(stats.cached.values())} cached, hit rate "
+                f"{100.0 * stats.hit_rate:.1f}%)")
+        lines.append(f"VERIFIED: {self.verified}")
+        return "\n".join(lines)

@@ -74,7 +74,7 @@ class SymbolicExecutor:
                 state[p.name] = var(p.name)
         for d in sp.decls:
             state[d.name] = var(f"{d.name}#uninit")
-        ctx = self.typed.context(sp.name)
+        ctx = self.typed.context(sp.name).runtime_view()
         for d in sp.decls:
             if d.init is not None:
                 state[d.name] = self._expr(d.init, state, ctx, sp)
@@ -297,7 +297,7 @@ class SymbolicExecutor:
         if depth >= self.inline_depth:
             raise UnsupportedProgram("procedure inlining depth exceeded")
         callee = self.typed.signatures[stmt.name]
-        callee_ctx = self.typed.context(callee.name)
+        callee_ctx = self.typed.context(callee.name).runtime_view()
         callee_state: Dict[str, Term] = {}
         for arg, param in zip(stmt.args, callee.params):
             if param.mode != "out":

@@ -1,0 +1,34 @@
+"""Obligation-level proof execution: scheduling, caching, telemetry.
+
+The three proof layers of the Echo pipeline -- VC discharge
+(:mod:`repro.prover.session`), per-transformation equivalence trials
+(:mod:`repro.refactor.engine`), and implication lemmas
+(:mod:`repro.implication`) -- express their work as uniform
+:class:`~repro.exec.obligation.Obligation` values and hand them to an
+:class:`~repro.exec.scheduler.ObligationScheduler`, which runs them on a
+thread pool (``jobs=N``) or inline (``jobs=1``, bit-identical to the
+historical serial path), consults a content-addressed
+:class:`~repro.exec.cache.ResultCache`, and records structured
+:class:`~repro.exec.telemetry.Telemetry` events.
+"""
+
+from .cache import (
+    ResultCache, default_cache, make_key, package_fingerprint,
+    theory_fingerprint,
+)
+from .events import ObligationEvent
+from .obligation import (
+    EQUIV_TRIAL, LEMMA, VC, Obligation, equiv_trial_obligation,
+    lemma_obligation, vc_obligation,
+)
+from .scheduler import ObligationOutcome, ObligationScheduler
+from .telemetry import ExecStats, Telemetry, default_telemetry
+
+__all__ = [
+    "Obligation", "ObligationOutcome", "ObligationScheduler",
+    "ObligationEvent", "ExecStats", "Telemetry", "default_telemetry",
+    "ResultCache", "default_cache", "make_key",
+    "package_fingerprint", "theory_fingerprint",
+    "vc_obligation", "equiv_trial_obligation", "lemma_obligation",
+    "VC", "EQUIV_TRIAL", "LEMMA",
+]

@@ -1,0 +1,52 @@
+"""Structured events emitted by the obligation execution layer.
+
+Every state change of an obligation -- submitted to the scheduler, started
+on a worker, finished, served from cache, timed out, errored, retried,
+skipped by early exit -- is recorded as one :class:`ObligationEvent` in the
+run's :class:`~repro.exec.telemetry.Telemetry` log.  Events are plain data
+(JSON-dumpable) so benchmark harnesses can post-process them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = [
+    "ObligationEvent",
+    "SUBMITTED", "STARTED", "FINISHED", "CACHED", "TIMED_OUT", "ERRORED",
+    "RETRIED", "SKIPPED", "TERMINAL_EVENTS",
+]
+
+SUBMITTED = "submitted"
+STARTED = "started"
+FINISHED = "finished"
+CACHED = "cached"
+TIMED_OUT = "timed_out"
+ERRORED = "errored"
+RETRIED = "retried"
+SKIPPED = "skipped"
+
+#: Events that end an obligation's life (used for queue-depth accounting).
+TERMINAL_EVENTS = frozenset({FINISHED, CACHED, TIMED_OUT, ERRORED, SKIPPED})
+
+
+@dataclass(frozen=True)
+class ObligationEvent:
+    """One state change of one obligation.
+
+    ``t`` is seconds since the owning telemetry's epoch; ``wall`` is the
+    obligation's execution time (only meaningful on terminal events);
+    ``queue_depth`` is the number of submitted-but-unfinished obligations
+    at the moment the event was recorded.
+    """
+
+    event: str
+    kind: str          # 'vc' | 'equiv_trial' | 'lemma' | ...
+    label: str
+    t: float
+    wall: float = 0.0
+    queue_depth: int = 0
+    detail: str = ""
+
+    def to_json(self) -> dict:
+        return asdict(self)

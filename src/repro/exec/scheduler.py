@@ -1,0 +1,249 @@
+"""The work-queue scheduler for proof obligations.
+
+``ObligationScheduler.run`` takes a list of :class:`Obligation` and
+returns one :class:`ObligationOutcome` per obligation, **in input order**
+regardless of completion order.  Two execution modes:
+
+* ``jobs == 1`` -- the guaranteed serial fallback: obligations run inline,
+  one after another, on the calling thread.  This path performs exactly
+  the work the pre-scheduler code ran, in the same order, so results are
+  bit-identical and tier-1 determinism is preserved.
+* ``jobs > 1`` -- a ``concurrent.futures.ThreadPoolExecutor``.  Threads
+  (not processes) because terms are hash-consed against a process-global
+  interning table with identity semantics; pickling a term into another
+  process would silently break ``__eq__ is is``.  Obligations sharing a
+  ``group`` are chained so they execute serially in submission order
+  (per-subprogram prover state keeps its serial discipline); distinct
+  groups and ungrouped obligations fan out freely.
+
+Per-obligation timeout (parallel mode): the collector waits up to
+``timeout_seconds`` for each result and then marks the obligation
+``timed_out`` and moves on; the worker thread is abandoned (threads cannot
+be preempted) and its eventual result is discarded.  In serial mode the
+thunk's own internal timeouts (e.g. ``AutoProver.timeout_seconds``) bound
+the work, as they always did.
+
+Transient failures are retried up to ``retries`` times; a thunk that still
+raises either propagates (``on_error='raise'``, the default -- matching
+the pre-scheduler behaviour) or is recorded as an ``errored`` outcome
+(``on_error='record'``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, TimeoutError as _FutureTimeout
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import events as ev
+from .cache import ResultCache, default_cache
+from .obligation import Obligation
+from .telemetry import Telemetry, default_telemetry
+
+__all__ = ["ObligationOutcome", "ObligationScheduler"]
+
+OK = "ok"
+CACHED = "cached"
+TIMED_OUT = "timed_out"
+ERRORED = "errored"
+SKIPPED = "skipped"
+
+
+@dataclass
+class ObligationOutcome:
+    obligation: Obligation
+    status: str                  # ok | cached | timed_out | errored | skipped
+    value: object = None
+    wall_seconds: float = 0.0
+    attempts: int = 0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (OK, CACHED)
+
+
+class _Abandoned(Exception):
+    """Internal: the collector stopped waiting for this obligation."""
+
+
+class ObligationScheduler:
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 timeout_seconds: Optional[float] = None,
+                 retries: int = 0,
+                 on_error: str = "raise"):
+        self.jobs = max(1, jobs if jobs is not None else
+                        (os.cpu_count() or 1))
+        #: ``cache=None`` selects the process default; ``cache=False``
+        #: disables caching outright.
+        if cache is None:
+            self.cache = default_cache()
+        elif cache is False:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.telemetry = telemetry if telemetry is not None \
+            else default_telemetry()
+        self.timeout_seconds = timeout_seconds
+        self.retries = retries
+        if on_error not in ("raise", "record"):
+            raise ValueError(f"on_error must be 'raise' or 'record', "
+                             f"got {on_error!r}")
+        self.on_error = on_error
+
+    # -- public -------------------------------------------------------------
+
+    def run(self, obligations: Sequence[Obligation],
+            stop_on: Optional[Callable[[ObligationOutcome], bool]] = None
+            ) -> List[ObligationOutcome]:
+        """Execute all obligations; results in input order.
+
+        ``stop_on(outcome)`` returning True stops scheduling further
+        obligations (remaining ones come back ``skipped``) -- the serial
+        path's early exit, e.g. a differential check stopping at the first
+        counterexample.
+        """
+        obligations = list(obligations)
+        if self.jobs == 1 or len(obligations) <= 1:
+            return self._run_serial(obligations, stop_on)
+        return self._run_parallel(obligations, stop_on)
+
+    # -- serial path --------------------------------------------------------
+
+    def _run_serial(self, obligations, stop_on) -> List[ObligationOutcome]:
+        outcomes: List[ObligationOutcome] = []
+        stopped = False
+        for ob in obligations:
+            if stopped:
+                outcomes.append(self._skip(ob))
+                continue
+            self.telemetry.record(ev.SUBMITTED, ob.kind, ob.label)
+            outcome = self._execute(ob)
+            if outcome.status == ERRORED and self.on_error == "raise":
+                raise outcome._exception    # type: ignore[attr-defined]
+            outcomes.append(outcome)
+            if stop_on is not None and stop_on(outcome):
+                stopped = True
+        return outcomes
+
+    # -- parallel path ------------------------------------------------------
+
+    def _run_parallel(self, obligations, stop_on) -> List[ObligationOutcome]:
+        # Predecessor chain per group: obligation i waits until the previous
+        # obligation of its group has finished.  Submission order is FIFO,
+        # so a predecessor is always dequeued before its successor and the
+        # wait chain always terminates at a running task -- no deadlock.
+        done_events: List[threading.Event] = \
+            [threading.Event() for _ in obligations]
+        predecessor: List[Optional[int]] = [None] * len(obligations)
+        last_in_group: Dict[str, int] = {}
+        for i, ob in enumerate(obligations):
+            if ob.group is not None:
+                if ob.group in last_in_group:
+                    predecessor[i] = last_in_group[ob.group]
+                last_in_group[ob.group] = i
+
+        for ob in obligations:
+            self.telemetry.record(ev.SUBMITTED, ob.kind, ob.label)
+
+        def worker(index: int) -> ObligationOutcome:
+            try:
+                pred = predecessor[index]
+                if pred is not None:
+                    done_events[pred].wait()
+                return self._execute(obligations[index])
+            finally:
+                done_events[index].set()
+
+        outcomes: List[Optional[ObligationOutcome]] = [None] * len(obligations)
+        stopped = False
+        abandoned = False
+        pool = ThreadPoolExecutor(max_workers=self.jobs)
+        try:
+            futures = [pool.submit(worker, i)
+                       for i in range(len(obligations))]
+            for i, future in enumerate(futures):
+                if stopped:
+                    if future.cancel():
+                        done_events[i].set()
+                        outcomes[i] = self._skip(obligations[i])
+                        continue
+                try:
+                    outcome = future.result(timeout=self.timeout_seconds)
+                except _FutureTimeout:
+                    # The worker cannot be preempted; abandon it (it will
+                    # finish in the background and its result is discarded).
+                    abandoned = True
+                    outcome = ObligationOutcome(
+                        obligation=obligations[i], status=TIMED_OUT,
+                        wall_seconds=self.timeout_seconds or 0.0,
+                        error=f"no result within {self.timeout_seconds}s")
+                    self.telemetry.record(
+                        ev.TIMED_OUT, obligations[i].kind,
+                        obligations[i].label, wall=outcome.wall_seconds)
+                outcomes[i] = outcome
+                if outcome.status == ERRORED and self.on_error == "raise":
+                    for later in futures[i + 1:]:
+                        later.cancel()
+                    for event in done_events:
+                        event.set()   # release any chained waiters
+                    raise outcome._exception  # type: ignore[attr-defined]
+                if stop_on is not None and not stopped \
+                        and stop_on(outcome):
+                    stopped = True
+        finally:
+            # wait=False so an abandoned (timed-out) worker does not block
+            # the collector; completed pools shut down immediately anyway.
+            pool.shutdown(wait=not abandoned)
+        return outcomes  # type: ignore[return-value]
+
+    # -- one obligation -----------------------------------------------------
+
+    def _skip(self, ob: Obligation) -> ObligationOutcome:
+        self.telemetry.record(ev.SKIPPED, ob.kind, ob.label)
+        return ObligationOutcome(obligation=ob, status=SKIPPED)
+
+    def _execute(self, ob: Obligation) -> ObligationOutcome:
+        keyed = ob.cache_key is not None and self.cache is not None
+        if keyed:
+            started = time.perf_counter()
+            hit, value = self.cache.get(ob.cache_key, decode=ob.decode)
+            if hit:
+                wall = time.perf_counter() - started
+                self.telemetry.record(ev.CACHED, ob.kind, ob.label,
+                                      wall=wall)
+                return ObligationOutcome(obligation=ob, status=CACHED,
+                                         value=value, wall_seconds=wall)
+        self.telemetry.record(ev.STARTED, ob.kind, ob.label)
+        attempts = 0
+        started = time.perf_counter()
+        while True:
+            attempts += 1
+            try:
+                value = ob.thunk()
+                break
+            except Exception as exc:   # noqa: BLE001 - boundary by design
+                if attempts <= self.retries:
+                    self.telemetry.record(ev.RETRIED, ob.kind, ob.label,
+                                          detail=str(exc))
+                    continue
+                wall = time.perf_counter() - started
+                self.telemetry.record(ev.ERRORED, ob.kind, ob.label,
+                                      wall=wall, detail=str(exc))
+                outcome = ObligationOutcome(
+                    obligation=ob, status=ERRORED, wall_seconds=wall,
+                    attempts=attempts, error=f"{type(exc).__name__}: {exc}")
+                outcome._exception = exc   # type: ignore[attr-defined]
+                return outcome
+        wall = time.perf_counter() - started
+        self.telemetry.record(ev.FINISHED, ob.kind, ob.label, wall=wall,
+                              detail="keyed" if keyed else "")
+        if keyed:
+            self.cache.put(ob.cache_key, value, encode=ob.encode)
+        return ObligationOutcome(obligation=ob, status=OK, value=value,
+                                 wall_seconds=wall, attempts=attempts)

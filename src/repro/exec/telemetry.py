@@ -1,0 +1,203 @@
+"""Telemetry for the obligation execution layer.
+
+A :class:`Telemetry` instance owns a thread-safe structured event log
+(:mod:`repro.exec.events`) plus aggregate counters, and renders them as
+
+* an :class:`ExecStats` snapshot (attached to
+  :class:`~repro.core.results.EchoResult` after a verification run),
+* a text summary (the "Obligation execution" section of the harness
+  report),
+* a JSON dump (``results/telemetry.json``, consumed by benchmarks).
+
+A process-wide default instance (:func:`default_telemetry`) collects
+events from components that were not handed an explicit telemetry, so the
+experiment runner can report on everything that happened in the process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .events import (
+    CACHED, ERRORED, FINISHED, RETRIED, SKIPPED, STARTED, SUBMITTED,
+    TERMINAL_EVENTS, TIMED_OUT, ObligationEvent,
+)
+
+__all__ = ["ExecStats", "Telemetry", "default_telemetry"]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+@dataclass
+class ExecStats:
+    """Aggregate snapshot of one telemetry log."""
+
+    #: terminal obligations per kind (computed + cached + timed out + ...).
+    obligations: Dict[str, int] = field(default_factory=dict)
+    #: obligations whose thunk actually ran to completion, per kind.
+    computed: Dict[str, int] = field(default_factory=dict)
+    #: obligations served from the result cache, per kind.
+    cached: Dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    retries: int = 0
+    skipped: int = 0
+    wall_seconds: float = 0.0       # telemetry epoch -> last event
+    busy_seconds: float = 0.0       # sum of per-obligation execution walls
+    p50_seconds: float = 0.0        # percentile of computed-obligation walls
+    p95_seconds: float = 0.0
+    max_queue_depth: int = 0
+
+    @property
+    def total(self) -> int:
+        return sum(self.obligations.values())
+
+    @property
+    def hit_rate(self) -> float:
+        keyed = self.cache_hits + self.cache_misses
+        return self.cache_hits / keyed if keyed else 0.0
+
+    def summary(self) -> str:
+        kinds = ", ".join(f"{kind}: {n}"
+                          for kind, n in sorted(self.obligations.items())) \
+            or "none"
+        lines = [
+            f"obligations                {self.total} ({kinds})",
+            f"computed / cached          "
+            f"{sum(self.computed.values())} / {sum(self.cached.values())}",
+            f"cache hit rate             {100.0 * self.hit_rate:.1f}% "
+            f"({self.cache_hits} hits, {self.cache_misses} misses)",
+            f"discharge time p50 / p95   {self.p50_seconds * 1000:.1f} ms / "
+            f"{self.p95_seconds * 1000:.1f} ms",
+            f"busy / wall time           {self.busy_seconds:.2f} s / "
+            f"{self.wall_seconds:.2f} s",
+            f"max queue depth            {self.max_queue_depth}",
+        ]
+        if self.timeouts or self.errors or self.retries or self.skipped:
+            lines.append(
+                f"timeouts / errors / retries / skipped  "
+                f"{self.timeouts} / {self.errors} / {self.retries} / "
+                f"{self.skipped}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "obligations": dict(self.obligations),
+            "computed": dict(self.computed),
+            "cached": dict(self.cached),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "retries": self.retries,
+            "skipped": self.skipped,
+            "wall_seconds": self.wall_seconds,
+            "busy_seconds": self.busy_seconds,
+            "p50_seconds": self.p50_seconds,
+            "p95_seconds": self.p95_seconds,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+class Telemetry:
+    """Thread-safe structured event log with aggregate counters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+        self._events: List[ObligationEvent] = []
+        self._depth = 0
+        self._max_depth = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, event: str, kind: str, label: str,
+               wall: float = 0.0, detail: str = "") -> ObligationEvent:
+        with self._lock:
+            if event == SUBMITTED:
+                self._depth += 1
+                self._max_depth = max(self._max_depth, self._depth)
+            elif event in TERMINAL_EVENTS:
+                self._depth = max(0, self._depth - 1)
+            ev = ObligationEvent(
+                event=event, kind=kind, label=label,
+                t=time.perf_counter() - self._epoch,
+                wall=wall, queue_depth=self._depth, detail=detail)
+            self._events.append(ev)
+            return ev
+
+    # -- reading ------------------------------------------------------------
+
+    def events(self) -> List[ObligationEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def stats(self) -> ExecStats:
+        events = self.events()
+        stats = ExecStats()
+        walls: List[float] = []
+        last_t = 0.0
+        for ev in events:
+            last_t = max(last_t, ev.t)
+            stats.max_queue_depth = max(stats.max_queue_depth,
+                                        ev.queue_depth)
+            if ev.event in TERMINAL_EVENTS:
+                stats.obligations[ev.kind] = \
+                    stats.obligations.get(ev.kind, 0) + 1
+            if ev.event == FINISHED:
+                stats.computed[ev.kind] = stats.computed.get(ev.kind, 0) + 1
+                stats.cache_misses += 1 if ev.detail == "keyed" else 0
+                stats.busy_seconds += ev.wall
+                walls.append(ev.wall)
+            elif ev.event == CACHED:
+                stats.cached[ev.kind] = stats.cached.get(ev.kind, 0) + 1
+                stats.cache_hits += 1
+                stats.busy_seconds += ev.wall
+            elif ev.event == TIMED_OUT:
+                stats.timeouts += 1
+            elif ev.event == ERRORED:
+                stats.errors += 1
+            elif ev.event == RETRIED:
+                stats.retries += 1
+            elif ev.event == SKIPPED:
+                stats.skipped += 1
+        walls.sort()
+        stats.p50_seconds = _percentile(walls, 0.50)
+        stats.p95_seconds = _percentile(walls, 0.95)
+        stats.wall_seconds = last_t
+        return stats
+
+    def summary(self) -> str:
+        return self.stats().summary()
+
+    def to_json(self) -> dict:
+        return {
+            "stats": self.stats().to_json(),
+            "events": [ev.to_json() for ev in self.events()],
+        }
+
+    def dump_json(self, path) -> None:
+        from pathlib import Path
+        Path(path).write_text(json.dumps(self.to_json(), indent=2))
+
+
+_DEFAULT = Telemetry()
+
+
+def default_telemetry() -> Telemetry:
+    """The process-wide telemetry used when no explicit instance is given."""
+    return _DEFAULT

@@ -1,7 +1,7 @@
 """Experiment runner: regenerates every table and figure of the paper's
 evaluation and writes a combined report (used to produce EXPERIMENTS.md).
 
-Run as ``python -m repro.harness.runner [--quick]``.
+Run as ``python -m repro.harness.runner [--quick] [--jobs N]``.
 """
 
 from __future__ import annotations
@@ -11,6 +11,7 @@ import sys
 import time
 from pathlib import Path
 
+from ..exec import default_telemetry
 from .figures import figure2, render_figure2
 from .tables import (
     defect_tables, implementation_proof_stats, implication_proof_stats,
@@ -20,7 +21,7 @@ from .tables import (
 __all__ = ["run_all", "main"]
 
 
-def run_all(upto: int = 14, quick: bool = False) -> str:
+def run_all(upto: int = 14, quick: bool = False, jobs: int = 1) -> str:
     sections = []
     started = time.time()
 
@@ -36,7 +37,7 @@ def run_all(upto: int = 14, quick: bool = False) -> str:
     sections.append("```")
 
     sections.append("## Implementation proof (paper 6.2.3)")
-    impl = implementation_proof_stats()
+    impl = implementation_proof_stats(jobs=jobs)
     auto_sps = impl.fully_automatic_subprograms()
     total_sps = len({o.vc.subprogram for o in impl.outcomes})
     sections.append("```")
@@ -52,7 +53,7 @@ def run_all(upto: int = 14, quick: bool = False) -> str:
     sections.append("```")
 
     sections.append("## Implication proof (paper 6.2.4)")
-    imp = implication_proof_stats()
+    imp = implication_proof_stats(jobs=jobs)
     res = imp.result
     sections.append("```")
     sections.append(
@@ -81,14 +82,35 @@ def run_all(upto: int = 14, quick: bool = False) -> str:
             sections.append(render_defect_table(setup, tables[setup]))
             sections.append("```")
 
+    sections.append("## Obligation execution (repro.exec)")
+    sections.append("```")
+    sections.append(default_telemetry().summary())
+    sections.append("```")
+
     sections.append(f"\n_total harness time: {time.time() - started:.0f} s_")
     return "\n\n".join(sections)
+
+
+def _parse_jobs(argv) -> int:
+    raw = None
+    for i, arg in enumerate(argv):
+        if arg == "--jobs" and i + 1 < len(argv):
+            raw = argv[i + 1]
+        elif arg.startswith("--jobs="):
+            raw = arg.split("=", 1)[1]
+    if raw is None:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise SystemExit(f"error: --jobs expects an integer, got {raw!r}")
 
 
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     quick = "--quick" in argv
-    report = run_all(quick=quick)
+    jobs = _parse_jobs(argv)
+    report = run_all(quick=quick, jobs=jobs)
     print(report)
     out = Path("results")
     out.mkdir(exist_ok=True)
@@ -96,6 +118,7 @@ def main(argv=None) -> int:
     measurements = figure2()
     (out / "figure2.json").write_text(json.dumps(
         [m.__dict__ for m in measurements], indent=2, default=str))
+    default_telemetry().dump_json(out / "telemetry.json")
     return 0
 
 

@@ -75,7 +75,27 @@ class ImplicationResult:
 
 
 def prove_implication(original: s.Theory, extracted: s.Theory,
-                      seed: int = 20090701) -> ImplicationResult:
+                      seed: int = 20090701,
+                      jobs: int = 1,
+                      cache=None,
+                      telemetry=None) -> ImplicationResult:
+    """Prove the implication theorem.
+
+    Lemma discharge runs through the obligation scheduler
+    (:mod:`repro.exec`): one ``lemma`` obligation per architectural-map
+    element.  ``jobs=1`` runs them inline in the historical order with
+    the shared evaluator pair (bit-identical to the pre-scheduler path);
+    ``jobs>1`` fans lemmas out across a thread pool with one evaluator
+    pair per worker thread (``SpecEvaluator`` carries a mutable memo and
+    step budget, so instances are not shared across threads).  Results
+    are cached content-addressed on (theory texts, lemma identity, seed).
+    """
+    import threading
+
+    from ..exec import (
+        ObligationScheduler, lemma_obligation, theory_fingerprint,
+    )
+
     started = time.perf_counter()
     amap = build_map(original, extracted)
     ratio = match_ratio(original, extracted)
@@ -83,11 +103,36 @@ def prove_implication(original: s.Theory, extracted: s.Theory,
 
     orig_eval = SpecEvaluator(original)
     ext_eval = SpecEvaluator(extracted)
-    outcomes = [
-        discharge_lemma(lemma, original, extracted, amap,
-                        orig_eval, ext_eval, seed=seed)
+    tls = threading.local()
+
+    def evaluators():
+        if jobs == 1:
+            return orig_eval, ext_eval
+        pair = getattr(tls, "pair", None)
+        if pair is None:
+            pair = (SpecEvaluator(original), SpecEvaluator(extracted))
+            tls.pair = pair
+        return pair
+
+    original_fp = theory_fingerprint(original)
+    extracted_fp = theory_fingerprint(extracted)
+
+    def discharger(lemma):
+        def discharge():
+            o_eval, e_eval = evaluators()
+            return discharge_lemma(lemma, original, extracted, amap,
+                                   o_eval, e_eval, seed=seed)
+        return discharge
+
+    obligations = [
+        lemma_obligation(lemma, discharger(lemma),
+                         original_fp=original_fp, extracted_fp=extracted_fp,
+                         seed=seed)
         for lemma in lemmas
     ]
+    scheduler = ObligationScheduler(jobs=jobs, cache=cache,
+                                    telemetry=telemetry)
+    outcomes = [result.value for result in scheduler.run(obligations)]
 
     # Implication-theorem TCCs, discharged automatically with subsumption
     # accounting (duplicates across byte-typed signatures).

@@ -55,6 +55,11 @@ class Interpreter:
         self.check_asserts = check_asserts
         self.steps = 0
         self._type_cache: Dict[tuple, Type] = {}
+        #: per-interpreter runtime contexts: loop-variable push/pop during
+        #: execution must not mutate the shared contexts on ``typed`` (two
+        #: interpreters on different threads would corrupt each other's
+        #: loop-variable stacks mid-loop).
+        self._ctx_cache: Dict[str, object] = {}
 
     # -- public entry points -------------------------------------------------
 
@@ -85,7 +90,10 @@ class Interpreter:
     def _invoke(self, sp: ast.Subprogram, arg_values: List) -> Dict:
         if len(arg_values) != len(sp.params):
             raise TypeError_(f"{sp.name}: expected {len(sp.params)} arguments")
-        ctx = self.typed.context(sp.name)
+        ctx = self._ctx_cache.get(sp.name)
+        if ctx is None:
+            ctx = self.typed.context(sp.name).runtime_view()
+            self._ctx_cache[sp.name] = ctx
         env: Dict[str, object] = {}
         for p, value in zip(sp.params, arg_values):
             if p.mode == "out":

@@ -60,6 +60,22 @@ class SubprogramContext:
     def pop_loop_var(self):
         self._loop_vars.pop()
 
+    def runtime_view(self) -> "SubprogramContext":
+        """A view of this context with a private loop-variable stack.
+
+        The table lookups (``vars``, ``modes``, the typed package) are
+        shared read-only; ``_loop_vars`` is mutated by every executor that
+        walks a For/ForAll, so concurrent interpreters must each push/pop
+        on their own stack rather than on the canonical context stored in
+        ``TypedPackage._contexts``."""
+        view = SubprogramContext.__new__(SubprogramContext)
+        view.typed = self.typed
+        view.subprogram = self.subprogram
+        view.vars = self.vars
+        view.modes = self.modes
+        view._loop_vars = []
+        return view
+
     def var_type(self, name: str) -> Optional[Type]:
         if name in self._loop_vars:
             return INTEGER

@@ -5,6 +5,7 @@ the Echo reproduction are hash-consed :class:`~repro.logic.terms.Term` DAGs.
 See :mod:`repro.logic.terms` for the operator vocabulary.
 """
 
+from .canon import canonical_text, fingerprint
 from .builders import (
     FALSE, TRUE, add, apply, band, bnot, boolc, bor, conj, disj, divi, eq,
     exists, forall, ge, gt, iff, implies, intc, ite, le, lt, modi, mul, ne,
@@ -24,7 +25,7 @@ __all__ = [
     "add", "sub", "mul", "divi", "modi", "xor", "band", "bor", "bnot",
     "shl", "shr", "select", "store", "apply", "forall", "exists",
     "dag_size", "tree_size", "tree_bytes", "max_depth",
-    "render", "render_full",
+    "render", "render_full", "canonical_text", "fingerprint",
     "Rewriter", "Rule", "RewriteStats", "RewriteBudgetExceeded",
     "default_rules", "rule_families", "interval_of", "decide_relation",
     "substitute", "substitute_simplifying", "rebuild_smart",

@@ -125,7 +125,17 @@ class Term:
 
 
 class TermTable:
-    """Interning table: maps (op, arg ids, value) to the unique Term."""
+    """Interning table: maps (op, arg ids, value) to the unique Term.
+
+    Thread safety: the scheduler in :mod:`repro.exec` constructs terms
+    from pool workers, so interning must be safe under concurrent
+    construction.  ``make`` uses double-checked locking -- the unlocked
+    fast-path read is safe in CPython (dict reads never observe a
+    partially inserted entry under the GIL), and the lock makes the
+    check-then-insert atomic so two racing threads interning the same key
+    always receive the *same* object.  Identity semantics
+    (``__eq__ is is``) would silently break if a duplicate ever escaped.
+    """
 
     def __init__(self):
         self._table = {}
@@ -171,7 +181,9 @@ def _free_vars(term: Term) -> frozenset:
     if result is not None:
         return result
     # Iterative post-order (children strictly before parents) so huge DAGs do
-    # not blow the recursion limit.
+    # not blow the recursion limit.  Concurrent calls race benignly: each
+    # thread computes the same frozenset for the same node; setdefault
+    # publishes the first writer's object so all threads share one value.
     for node in term.iter_dag():
         if node._id in cache:
             continue
@@ -183,5 +195,5 @@ def _free_vars(term: Term) -> frozenset:
                 acc |= cache[child._id]
             if node.op in ("forall", "exists"):
                 acc -= frozenset(node.value)
-        cache[node._id] = acc
+        cache.setdefault(node._id, acc)
     return cache[term._id]

@@ -85,7 +85,7 @@ def package_axioms(typed: TypedPackage) -> List[Axiom]:
     for fname, sig in typed.signatures.items():
         if not sig.is_function or not sig.post:
             continue
-        fctx = typed.context(fname)
+        fctx = typed.context(fname).runtime_view()
         params = tuple(p.name for p in sig.params)
         state = {p: var(p) for p in params}
         state["Result"] = None  # replaced below

@@ -10,10 +10,12 @@ maximum length of VCs needing human intervention, and wall/simulated time.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..exec import ObligationScheduler, package_fingerprint, vc_obligation
 from ..lang.typecheck import TypedPackage
 from ..vcgen import Examiner, ExaminerLimits, ExaminerReport, VCRecord
 from .auto import AutoProver, ProofResult
@@ -90,7 +92,18 @@ class ImplementationProofResult:
 
 
 class ImplementationProof:
-    """Discharges all VCs of a package: the Echo implementation proof."""
+    """Discharges all VCs of a package: the Echo implementation proof.
+
+    Discharge runs through the obligation scheduler
+    (:mod:`repro.exec`): one obligation per VC that survives the
+    simplifier, grouped by subprogram so that the per-subprogram prover
+    state (memo caches, fresh-name counters) sees its VCs serially and in
+    order even when ``jobs > 1`` -- ``jobs=1`` therefore reproduces the
+    historical serial run bit for bit, and ``jobs=N`` fans subprograms
+    out across a thread pool.  Results are cached content-addressed on
+    (package text, subprogram, VC term, prover configuration), so
+    re-verifying unchanged code is a replay, not a re-proof.
+    """
 
     #: The automatic prover gives up after this long per VC and hands the
     #: VC to the interactive scripts (real provers run with a timeout; the
@@ -100,57 +113,136 @@ class ImplementationProof:
 
     def __init__(self, typed: TypedPackage,
                  limits: Optional[ExaminerLimits] = None,
-                 scripts: Optional[Dict[str, Sequence[ProofScript]]] = None):
+                 scripts: Optional[Dict[str, Sequence[ProofScript]]] = None,
+                 jobs: int = 1,
+                 cache=None,
+                 telemetry=None,
+                 obligation_timeout: Optional[float] = None):
         """``scripts`` maps a subprogram name to the proof scripts to try,
-        in order, on each of its undischarged VCs."""
+        in order, on each of its undischarged VCs.  ``jobs``/``cache``/
+        ``telemetry`` configure the obligation scheduler (``cache=None``
+        selects the process-default result cache, ``cache=False`` disables
+        caching); ``obligation_timeout`` bounds the wall time the parallel
+        scheduler waits per VC, mapping overruns to ``undischarged``."""
         self.typed = typed
         self.limits = limits
         self.scripts = scripts or {}
+        self.jobs = jobs
+        self.cache = cache
+        self.telemetry = telemetry
+        self.obligation_timeout = obligation_timeout
 
     def run(self, subprogram_names: Optional[Sequence[str]] = None
             ) -> ImplementationProofResult:
         started = time.perf_counter()
         examiner = Examiner(self.typed, limits=self.limits)
         report = examiner.examine(subprogram_names)
-        outcomes: List[VCOutcome] = []
+
+        package_fp = package_fingerprint(self.typed)
+        config = self._prover_config()
         auto_provers: Dict[str, AutoProver] = {}
         interactive_provers: Dict[str, InteractiveProver] = {}
+        provers_lock = threading.Lock()
+
+        # Assemble the outcome list as slots so simplifier-discharged VCs
+        # keep their historical interleaved positions.
+        slots: List[Tuple[str, object]] = []
+        obligations = []
+        vc_records: List[VCRecord] = []
         for analysis in report.per_subprogram.values():
             for vc in analysis.vcs:
                 if vc.discharged_by_simplifier:
-                    outcomes.append(VCOutcome(vc=vc, stage="simplifier"))
+                    slots.append(("done", VCOutcome(vc=vc,
+                                                    stage="simplifier")))
                     continue
-                prover = auto_provers.get(vc.subprogram)
-                if prover is None:
-                    prover = AutoProver(
-                        self.typed, subprogram_name=vc.subprogram,
-                        timeout_seconds=self.AUTO_TIMEOUT_SECONDS)
-                    auto_provers[vc.subprogram] = prover
-                result = prover.prove(vc.simplified.simplified)
-                if result.proved:
-                    outcomes.append(VCOutcome(vc=vc, stage="auto",
-                                              result=result))
-                    continue
-                outcome = self._try_scripts(
-                    vc, interactive_provers)
-                outcomes.append(outcome)
+                discharge = self._discharger(vc, auto_provers,
+                                             interactive_provers,
+                                             provers_lock)
+                obligations.append(vc_obligation(
+                    vc, discharge, package_fp=package_fp, config=config))
+                vc_records.append(vc)
+                slots.append(("ob", len(obligations) - 1))
+
+        scheduler = ObligationScheduler(
+            jobs=self.jobs, cache=self.cache, telemetry=self.telemetry,
+            timeout_seconds=self.obligation_timeout)
+        results = scheduler.run(obligations)
+
+        outcomes: List[VCOutcome] = []
+        for tag, payload in slots:
+            if tag == "done":
+                outcomes.append(payload)
+                continue
+            result = results[payload]
+            record = vc_records[payload]
+            if result.ok:
+                stage, proof_result = result.value
+                outcomes.append(VCOutcome(vc=record, stage=stage,
+                                          result=proof_result))
+            else:
+                # Scheduler-level timeout (or recorded error): the VC is
+                # honestly undischarged rather than crashing the run.
+                outcomes.append(VCOutcome(
+                    vc=record, stage="undischarged",
+                    result=ProofResult(False, result.status,
+                                       detail=result.error or "")))
         return ImplementationProofResult(
             report=report,
             outcomes=outcomes,
             wall_seconds=time.perf_counter() - started,
         )
 
+    def _prover_config(self) -> str:
+        """Cache-key component for everything that shapes a VC's outcome
+        besides the VC term and package text."""
+        parts = [f"auto_timeout={self.AUTO_TIMEOUT_SECONDS}"]
+        for name in sorted(self.scripts):
+            names = ",".join(f"{s.name}:{s.steps}"
+                             for s in self.scripts[name])
+            parts.append(f"scripts[{name}]={names}")
+        return ";".join(parts)
+
+    def _discharger(self, vc: VCRecord,
+                    auto_provers: Dict[str, AutoProver],
+                    interactive_provers: Dict[str, InteractiveProver],
+                    provers_lock: threading.Lock):
+        """The thunk for one VC: auto prover, then interactive scripts --
+        exactly the historical inline sequence.  Provers are created
+        lazily per subprogram; obligations of one subprogram share a
+        scheduler group, so each prover is only ever driven by one thread
+        at a time and sees its VCs in the serial order."""
+
+        def discharge():
+            with provers_lock:
+                prover = auto_provers.get(vc.subprogram)
+                if prover is None:
+                    prover = AutoProver(
+                        self.typed, subprogram_name=vc.subprogram,
+                        timeout_seconds=self.AUTO_TIMEOUT_SECONDS)
+                    auto_provers[vc.subprogram] = prover
+            result = prover.prove(vc.simplified.simplified)
+            if result.proved:
+                return "auto", result
+            outcome = self._try_scripts(vc, interactive_provers,
+                                        provers_lock)
+            return outcome.stage, outcome.result
+
+        return discharge
+
     def _try_scripts(self, vc: VCRecord,
-                     interactive_provers: Dict[str, InteractiveProver]
+                     interactive_provers: Dict[str, InteractiveProver],
+                     provers_lock: Optional[threading.Lock] = None
                      ) -> VCOutcome:
         scripts = self.scripts.get(vc.subprogram, ())
         if not scripts:
             return VCOutcome(vc=vc, stage="undischarged")
-        prover = interactive_provers.get(vc.subprogram)
-        if prover is None:
-            prover = InteractiveProver(self.typed,
-                                       subprogram_name=vc.subprogram)
-            interactive_provers[vc.subprogram] = prover
+        lock = provers_lock if provers_lock is not None else threading.Lock()
+        with lock:
+            prover = interactive_provers.get(vc.subprogram)
+            if prover is None:
+                prover = InteractiveProver(self.typed,
+                                           subprogram_name=vc.subprogram)
+                interactive_provers[vc.subprogram] = prover
         for script in scripts:
             result = prover.run_script(vc.simplified.simplified, script)
             if result.proved:

@@ -156,7 +156,10 @@ class RefactoringEngine:
                  check: str = "full",
                  trials: int = 24,
                  seed: int = 20090701,
-                 samplers: Optional[dict] = None):
+                 samplers: Optional[dict] = None,
+                 jobs: int = 1,
+                 cache=None,
+                 telemetry=None):
         self.typed = analyze(package)
         self.observables = list(observables)
         self.check = check
@@ -166,6 +169,11 @@ class RefactoringEngine:
         #: theorem to the meaningful input domain (documented precondition).
         self.samplers = samplers or {}
         self.history: List[Tuple[Application, ast.Package]] = []
+        #: obligation-scheduler knobs: differential trials fan out one
+        #: obligation per trial when ``jobs > 1`` (see ``_differential``).
+        self.jobs = jobs
+        self.cache = cache
+        self.telemetry = telemetry
 
     @property
     def package(self) -> ast.Package:
@@ -223,16 +231,64 @@ class RefactoringEngine:
                  name: str) -> EquivalenceTheorem:
         sampler = self.samplers.get(name)
         if self.check == "differential":
-            from ..equiv.differential import differential_check
-            result = differential_check(before, name, after, name,
-                                        trials=self.trials, seed=self.seed,
-                                        sampler=sampler)
             from ..equiv.theorem import _from_dynamic
+            result = self._differential(before, after, name, sampler)
             return _from_dynamic(result, name, name, "differential",
                                  proved=False)
         return prove_equivalence(before, name, after, name,
                                  trials=self.trials, seed=self.seed,
                                  sampler=sampler)
+
+    def _differential(self, before: TypedPackage, after: TypedPackage,
+                      name: str, sampler):
+        """Differential check through the obligation scheduler: one
+        obligation per trial.
+
+        Initial states are pre-generated serially from the seeded RNG (so
+        the state sequence is identical to the historical inline loop),
+        then the per-trial comparisons fan out.  With ``jobs=1`` the
+        scheduler runs them in order and stops at the first
+        counterexample -- exactly the historical work and result; with
+        ``jobs>1`` all trials run concurrently and the earliest
+        counterexample (by trial index) is reported, so the
+        ``DifferentialResult`` is the same either way."""
+        import random as _random
+
+        from ..equiv.differential import DifferentialResult, _compare
+        from ..equiv.model import input_params, random_state
+        from ..exec import ObligationScheduler, equiv_trial_obligation, \
+            package_fingerprint
+
+        sp_before = before.signatures[name]
+        sp_after = after.signatures[name]
+        if [p.name for p in input_params(sp_before)] != \
+                [p.name for p in input_params(sp_after)]:
+            raise ValueError(f"signatures differ: {name}")
+
+        rng = _random.Random(self.seed)
+        states = [sampler(rng) if sampler is not None
+                  else random_state(before, sp_before, rng)
+                  for _ in range(self.trials)]
+
+        left_fp = package_fingerprint(before)
+        right_fp = package_fingerprint(after)
+        obligations = [
+            equiv_trial_obligation(
+                i, name, state,
+                (lambda s=state: _compare(before, name, after, name, s)),
+                left_fp=left_fp, right_fp=right_fp)
+            for i, state in enumerate(states)
+        ]
+        scheduler = ObligationScheduler(jobs=self.jobs, cache=self.cache,
+                                        telemetry=self.telemetry)
+        results = scheduler.run(
+            obligations,
+            stop_on=lambda outcome: outcome.ok and outcome.value is not None)
+        for i, outcome in enumerate(results):
+            if outcome.ok and outcome.value is not None:
+                return DifferentialResult(equivalent=False, trials=i + 1,
+                                          counterexample=outcome.value)
+        return DifferentialResult(equivalent=True, trials=self.trials)
 
 
 def _same_structural_type(before: TypedPackage, a_name: str,

@@ -173,7 +173,7 @@ def _translate_call(tc: TranslationContext, expr: ast.FuncCall) -> Term:
     if sig is not None and sig.pre:
         # Precondition check at the call site.
         mapping = {p.name: a for p, a in zip(sig.params, args)}
-        callee_ctx = tc.typed.context(expr.name)
+        callee_ctx = tc.typed.context(expr.name).runtime_view()
         for pre in sig.pre:
             pre_tc = TranslationContext(
                 typed=tc.typed, ctx=callee_ctx, state=dict(mapping))

@@ -55,7 +55,7 @@ class _WP:
                  meter: Optional[ResourceMeter] = None):
         self.typed = typed
         self.sp = sp
-        self.ctx = typed.context(sp.name)
+        self.ctx = typed.context(sp.name).runtime_view()
         self.meter = meter
         self._fresh = itertools.count(1)
 

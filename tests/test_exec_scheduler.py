@@ -1,0 +1,183 @@
+"""Scheduler tests: serial/parallel equivalence on a real proof, group
+ordering, timeout handling, retries, early exit, and error recording."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exec import (
+    Obligation, ObligationScheduler, ResultCache, Telemetry, make_key,
+)
+from repro.lang import analyze, parse_package
+from repro.prover import AutoProver, ImplementationProof
+
+# the fixture package of tests/test_prover.py: its loop-invariant VCs
+# reach the auto prover, so the proof actually schedules obligations.
+SRC = """
+package P is
+   type Byte is mod 256;
+   type Arr is array (0 .. 7) of Byte;
+
+   procedure Invert (A : in Arr; B : out Arr)
+   --# post for all K in 0 .. 7 => (B (K) = (A (K) xor 255));
+   is
+   begin
+      for I in 0 .. 7 loop
+         --# assert for all K in 0 .. I - 1 => (B (K) = (A (K) xor 255));
+         B (I) := A (I) xor 255;
+      end loop;
+   end Invert;
+
+   procedure Invert_Twice (A : in Arr; B : out Arr)
+   --# post for all K in 0 .. 7 => (B (K) = A (K));
+   is
+   begin
+      for I in 0 .. 7 loop
+         --# assert for all K in 0 .. I - 1 => (B (K) = A (K));
+         B (I) := (A (I) xor 255) xor 255;
+      end loop;
+   end Invert_Twice;
+end P;
+"""
+
+
+def outcome_key(o):
+    return (o.vc.subprogram, o.vc.name, o.vc.kind, o.stage,
+            o.result.proved if o.result else None)
+
+
+class TestSerialParallelEquivalence:
+    def test_same_outcomes(self):
+        typed = analyze(parse_package(SRC))
+        serial = ImplementationProof(typed, jobs=1, cache=False).run()
+        parallel = ImplementationProof(typed, jobs=4, cache=False).run()
+        assert [outcome_key(o) for o in serial.outcomes] == \
+               [outcome_key(o) for o in parallel.outcomes]
+        assert serial.total_vcs == parallel.total_vcs
+        assert serial.auto_percent == parallel.auto_percent
+
+    def test_parallel_uses_scheduler_threads(self):
+        typed = analyze(parse_package(SRC))
+        t = Telemetry()
+        serial = ImplementationProof(typed, jobs=1, cache=False).run()
+        parallel = ImplementationProof(typed, jobs=4, cache=False,
+                                       telemetry=t).run()
+        assert [outcome_key(o) for o in parallel.outcomes] == \
+               [outcome_key(o) for o in serial.outcomes]
+        stats = t.stats()
+        assert stats.computed.get("vc", 0) > 0
+        assert stats.max_queue_depth >= 1
+
+
+class TestScheduling:
+    def _obligation(self, label, fn, group=None):
+        return Obligation(kind="vc", label=label, thunk=fn,
+                          cache_key=make_key(label), group=group)
+
+    def test_results_in_input_order(self):
+        def make(i):
+            def work():
+                time.sleep(0.01 * ((7 - i) % 3))  # finish out of order
+                return i
+            return work
+        obs = [self._obligation(f"o{i}", make(i)) for i in range(8)]
+        outcomes = ObligationScheduler(jobs=4, cache=False).run(obs)
+        assert [o.value for o in outcomes] == list(range(8))
+
+    def test_groups_run_serially_in_order(self):
+        trace = []
+        lock = threading.Lock()
+
+        def make(tag):
+            def work():
+                with lock:
+                    trace.append(tag)
+                time.sleep(0.01)
+                return tag
+            return work
+
+        obs = [self._obligation(f"g{i}", make(i), group="shared")
+               for i in range(6)]
+        ObligationScheduler(jobs=4, cache=False).run(obs)
+        assert trace == list(range(6))
+
+    def test_timeout_marks_timed_out_not_crash(self):
+        def slow():
+            time.sleep(5)
+            return "late"
+        obs = [self._obligation("fast", lambda: "ok"),
+               self._obligation("slow", slow),
+               self._obligation("after", lambda: "ok2")]
+        started = time.perf_counter()
+        outcomes = ObligationScheduler(
+            jobs=2, cache=False, timeout_seconds=0.2).run(obs)
+        assert time.perf_counter() - started < 4.0   # did not join the sleep
+        assert outcomes[0].ok and outcomes[0].value == "ok"
+        assert outcomes[1].status == "timed_out" and not outcomes[1].ok
+        assert outcomes[2].ok and outcomes[2].value == "ok2"
+
+    def test_retry_then_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return "finally"
+        obs = [self._obligation("flaky", flaky)]
+        [outcome] = ObligationScheduler(jobs=1, cache=False,
+                                        retries=2).run(obs)
+        assert outcome.ok and outcome.value == "finally"
+        assert outcome.attempts == 3
+
+    def test_on_error_record(self):
+        def boom():
+            raise ValueError("no")
+        obs = [self._obligation("boom", boom),
+               self._obligation("fine", lambda: 1)]
+        outcomes = ObligationScheduler(jobs=1, cache=False,
+                                       on_error="record").run(obs)
+        assert outcomes[0].status == "errored"
+        assert "no" in outcomes[0].error
+        assert outcomes[1].ok
+
+    def test_on_error_raise_default(self):
+        def boom():
+            raise ValueError("no")
+        with pytest.raises(ValueError):
+            ObligationScheduler(jobs=1, cache=False).run(
+                [self._obligation("boom", boom)])
+
+    def test_stop_on_skips_rest(self):
+        calls = []
+
+        def make(i):
+            def work():
+                calls.append(i)
+                return i
+            return work
+        obs = [self._obligation(f"s{i}", make(i)) for i in range(10)]
+        outcomes = ObligationScheduler(jobs=1, cache=False).run(
+            obs, stop_on=lambda o: o.value == 2)
+        assert calls == [0, 1, 2]
+        assert [o.status for o in outcomes[3:]] == ["skipped"] * 7
+
+
+class TestProofTimeout:
+    def test_slow_prover_yields_undischarged(self, monkeypatch):
+        """A VC whose discharge overruns the obligation timeout comes back
+        ``undischarged`` -- the proof completes instead of crashing."""
+        real_prove = AutoProver.prove
+
+        def slow_prove(self, term, hypotheses=()):
+            time.sleep(1.0)
+            return real_prove(self, term, hypotheses)
+
+        monkeypatch.setattr(AutoProver, "prove", slow_prove)
+        typed = analyze(parse_package(SRC))
+        result = ImplementationProof(typed, jobs=2, cache=False,
+                                     obligation_timeout=0.1).run()
+        assert result.undischarged           # timeouts, not exceptions
+        assert all(o.stage == "undischarged" for o in result.undischarged)
+        assert not result.all_proved

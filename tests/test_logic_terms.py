@@ -195,3 +195,66 @@ class TestIterDag:
         t = mul(shared, shared)
         nodes = list(t.iter_dag())
         assert len(nodes) == len({n._id for n in nodes})
+
+
+class TestConcurrentInterning:
+    def test_eight_threads_intern_identical_terms(self):
+        """Hash-consing must stay sound under concurrent construction:
+        every thread building the same term must get the *same* node
+        (identity is equality), and distinct terms must stay distinct.
+        Regression test for the interning table's double-checked locking."""
+        import threading
+
+        n_threads = 8
+        results = [None] * n_threads
+        barrier = threading.Barrier(n_threads)
+
+        def build(slot):
+            barrier.wait()  # maximise construction overlap
+            terms = []
+            for i in range(200):
+                t = implies(
+                    conj(le(intc(0), var(f"x{i}")),
+                         lt(var(f"x{i}"), intc(256))),
+                    eq(xor(var(f"x{i}"), var("k")), intc(i % 256)))
+                terms.append(t)
+            results[slot] = terms
+
+        threads = [threading.Thread(target=build, args=(slot,))
+                   for slot in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        reference = results[0]
+        for other in results[1:]:
+            assert all(a is b for a, b in zip(reference, other))
+        # distinct i -> distinct nodes
+        assert len({t._id for t in reference}) == len(reference)
+
+    def test_eight_threads_free_vars_cache(self):
+        """Concurrent free-variable queries over a shared deep term must
+        all see the same answer (the per-call cache publishes via
+        setdefault; races are benign)."""
+        import threading
+
+        t = TRUE
+        for i in range(100):
+            t = conj(implies(eq(var(f"a{i}"), intc(i)), t),
+                     lt(var("pivot"), intc(i + 1)))
+        expected = t.free_vars()
+
+        outcomes = []
+        barrier = threading.Barrier(8)
+
+        def query():
+            barrier.wait()
+            outcomes.append(t.free_vars())
+
+        threads = [threading.Thread(target=query) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert all(o == expected for o in outcomes)
