@@ -106,7 +106,20 @@ class SymbolicExecutor:
 
     def _inline_calls(self, term: Term, depth: int) -> Term:
         """Replace applications of defined functions with their symbolic
-        summaries instantiated at the argument terms."""
+        summaries instantiated at the argument terms.
+
+        Iterative (generator trampoline): symbolic states are store/ite
+        chains whose depth grows with the number of unrolled writes, far
+        past what worker-thread C stacks tolerate recursively.  A per-walk
+        memo keyed on interning id collapses shared subterms, which the
+        recursive formulation re-expanded per occurrence."""
+        from ..logic import run_trampoline
+        return run_trampoline(self._inline_calls_gen(term, depth, {}))
+
+    def _inline_calls_gen(self, term: Term, depth: int, memo: Dict[int, Term]):
+        hit = memo.get(term._id)
+        if hit is not None:
+            return hit
         if depth > self.inline_depth:
             return term
         sig = None
@@ -115,16 +128,27 @@ class SymbolicExecutor:
         if sig is not None and sig.is_function:
             from ..logic import substitute_simplifying
             summary = self.execute_cached(term.value)
-            mapping = {p.name: self._inline_calls(a, depth)
-                       for p, a in zip(sig.params, term.args)}
-            return substitute_simplifying(summary.outputs["Result"], mapping)
-        if not term.args:
-            return term
-        new_args = tuple(self._inline_calls(a, depth) for a in term.args)
-        if all(n is o for n, o in zip(new_args, term.args)):
-            return term
-        from ..logic import rebuild_smart
-        return rebuild_smart(term.op, new_args, term.value)
+            mapping = {}
+            for p, a in zip(sig.params, term.args):
+                mapping[p.name] = yield self._inline_calls_gen(a, depth, memo)
+            result = substitute_simplifying(summary.outputs["Result"], mapping)
+        elif not term.args:
+            result = term
+        else:
+            new_args = []
+            for a in term.args:
+                h = memo.get(a._id)
+                if h is None:
+                    h = yield self._inline_calls_gen(a, depth, memo)
+                new_args.append(h)
+            new_args = tuple(new_args)
+            if all(n is o for n, o in zip(new_args, term.args)):
+                result = term
+            else:
+                from ..logic import rebuild_smart
+                result = rebuild_smart(term.op, new_args, term.value)
+        memo[term._id] = result
+        return result
 
     _summary_cache: Dict[Tuple[int, str], SymbolicSummary] = {}
 

@@ -17,6 +17,7 @@ experiment runner can report on everything that happened in the process.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -31,12 +32,20 @@ __all__ = ["ExecStats", "Telemetry", "default_telemetry"]
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    """Nearest-rank percentile of an ascending list (0.0 when empty).
+
+    Classical nearest-rank: the smallest value with at least ``q`` of the
+    sample at or below it, i.e. ``values[ceil(q * n) - 1]``.  Deterministic
+    across adjacent sample sizes -- unlike ``int(round(...))``, whose
+    banker's rounding made the p50 of an even-length sample flip between
+    the lower and upper middle element as ``n`` grew.  The epsilon absorbs
+    binary-float error in ``q * n`` so an exact rank never rounds up.
+    """
     if not sorted_values:
         return 0.0
-    rank = max(0, min(len(sorted_values) - 1,
-                      int(round(q * (len(sorted_values) - 1)))))
-    return sorted_values[rank]
+    n = len(sorted_values)
+    rank = math.ceil(q * n - 1e-9)
+    return sorted_values[max(0, min(n - 1, rank - 1))]
 
 
 @dataclass

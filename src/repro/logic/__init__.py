@@ -17,6 +17,7 @@ from .rewriter import Rewriter, RewriteBudgetExceeded, RewriteStats, Rule
 from .rules import decide_relation, default_rules, interval_of, rule_families
 from .substitute import rebuild_smart, substitute, substitute_simplifying
 from .terms import Term, mk, term_table
+from .traversal import postorder_missing, run_trampoline
 
 __all__ = [
     "Term", "mk", "term_table",
@@ -29,4 +30,5 @@ __all__ = [
     "Rewriter", "Rule", "RewriteStats", "RewriteBudgetExceeded",
     "default_rules", "rule_families", "interval_of", "decide_relation",
     "substitute", "substitute_simplifying", "rebuild_smart",
+    "run_trampoline", "postorder_missing",
 ]

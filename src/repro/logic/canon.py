@@ -31,6 +31,7 @@ import hashlib
 from typing import Dict
 
 from .terms import COMMUTATIVE_OPS, Term
+from .traversal import postorder_missing
 
 __all__ = ["fingerprint", "canonical_text"]
 
@@ -62,10 +63,10 @@ def fingerprint(term: Term) -> str:
     hit = cache.get(term._id)
     if hit is not None:
         return hit
-    # Post-order over the DAG so children are hashed before parents.
-    for node in term.iter_dag():
-        if node._id in cache:
-            continue
+    # Post-order over the DAG so children are hashed before parents; the
+    # walk prunes at already-digested subterms, so re-fingerprinting after
+    # the DAG grows costs only the new nodes.
+    for node in postorder_missing(term, cache):
         child = [cache[a._id] for a in node.args]
         if node.op in COMMUTATIVE_OPS:
             child = sorted(child)
@@ -93,7 +94,7 @@ def canonical_text(term: Term, max_chars: int = 1_000_000) -> str:
     :func:`fingerprint` for large or heavily shared terms).
     """
     memo: Dict[int, str] = {}
-    for node in term.iter_dag():
+    for node in postorder_missing(term, memo):
         args = [memo[a._id] for a in node.args]
         if node.op in COMMUTATIVE_OPS:
             args = sorted(args)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict
 
 from .terms import Term
+from .traversal import postorder_missing
 
 __all__ = ["dag_size", "tree_size", "tree_bytes", "max_depth"]
 
@@ -36,9 +37,7 @@ def tree_size(term: Term, cache: Dict[int, int] = None) -> int:
     """
     if cache is None:
         cache = {}
-    for node in term.iter_dag():
-        if node._id in cache:
-            continue
+    for node in postorder_missing(term, cache):
         cache[node._id] = 1 + sum(cache[c._id] for c in node.args)
     return cache[term._id]
 
@@ -61,9 +60,7 @@ def tree_bytes(term: Term, cache: Dict[int, int] = None) -> int:
     """
     if cache is None:
         cache = {}
-    for node in term.iter_dag():
-        if node._id in cache:
-            continue
+    for node in postorder_missing(term, cache):
         size = _leaf_bytes(node) + _NODE_OVERHEAD
         if node.op in ("forall", "exists"):
             size += sum(len(n) + 2 for n in node.value)
@@ -76,8 +73,6 @@ def max_depth(term: Term, cache: Dict[int, int] = None) -> int:
     """Longest root-to-leaf path length (1 for a leaf)."""
     if cache is None:
         cache = {}
-    for node in term.iter_dag():
-        if node._id in cache:
-            continue
+    for node in postorder_missing(term, cache):
         cache[node._id] = 1 + max((cache[c._id] for c in node.args), default=0)
     return cache[term._id]

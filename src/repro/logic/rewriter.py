@@ -9,11 +9,16 @@ shared subterm is normalized once no matter how many tree occurrences it
 has).  All work is counted; an optional budget turns resource exhaustion into
 a :class:`RewriteBudgetExceeded` exception, which the examiner maps to the
 paper's "the VCs were too complicated to be handled by the SPARK tools".
+
+The traversal is **iterative** (see :mod:`repro.logic.traversal`): the
+engine runs under the obligation scheduler's worker threads, whose C
+stacks cannot absorb term-deep native recursion.  Normalization depth is
+therefore bounded by heap, not by the interpreter stack, and no
+recursion-limit escape hatch exists anywhere in the package.
 """
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -22,11 +27,21 @@ from .terms import Term
 
 __all__ = ["Rule", "Rewriter", "RewriteStats", "RewriteBudgetExceeded"]
 
-# Deep WP terms are legitimate here; raise the recursion ceiling once.
-if sys.getrecursionlimit() < 100_000:
-    sys.setrecursionlimit(100_000)
-
 _MAX_FIXPOINT_ITERS = 64
+
+#: Explicit-stack DFS frame states for :meth:`Rewriter.normalize`.
+#: ``_EXPAND`` visits a node for the first time (charge it, queue its
+#: children); ``_REBUILD`` runs once the children are memoized (rebuild
+#: through the smart constructors, then fixpoint); ``_RESUME`` continues a
+#: fixpoint that was suspended to normalize a rule's replacement term.
+_EXPAND, _REBUILD, _RESUME = 0, 1, 2
+
+#: Work units charged when a per-node fixpoint exhausts its iteration
+#: budget (the node is memoized possibly-not-normal; see
+#: :attr:`RewriteStats.fixpoint_exhausted`).  Deliberately expensive: an
+#: exhausted fixpoint did ``_MAX_FIXPOINT_ITERS`` rule applications'
+#: worth of spinning without converging.
+_FIXPOINT_EXHAUSTED_COST = 4 * _MAX_FIXPOINT_ITERS
 
 
 class RewriteBudgetExceeded(Exception):
@@ -55,11 +70,17 @@ class RewriteStats:
     nodes_visited: int = 0
     rules_applied: int = 0
     applications_by_rule: Dict[str, int] = field(default_factory=dict)
+    #: Per-node fixpoints that hit ``_MAX_FIXPOINT_ITERS`` without
+    #: converging.  The node is memoized as-is even though it may still be
+    #: reducible; a nonzero count means normal forms are best-effort and
+    #: the examiner surfaces it rather than silently absorbing it.
+    fixpoint_exhausted: int = 0
 
     @property
     def work(self) -> int:
         """Deterministic work units (the paper's 'analysis time' proxy)."""
-        return self.nodes_visited + 4 * self.rules_applied
+        return (self.nodes_visited + 4 * self.rules_applied
+                + _FIXPOINT_EXHAUSTED_COST * self.fixpoint_exhausted)
 
 
 class Rewriter:
@@ -71,9 +92,11 @@ class Rewriter:
         self.stats = RewriteStats()
         self._memo: Dict[int, Term] = {}
 
-    def _charge(self, nodes: int = 0, applications: int = 0, rule: str = None):
+    def _charge(self, nodes: int = 0, applications: int = 0,
+                rule: str = None, exhausted: int = 0):
         self.stats.nodes_visited += nodes
         self.stats.rules_applied += applications
+        self.stats.fixpoint_exhausted += exhausted
         if rule is not None:
             by_rule = self.stats.applications_by_rule
             by_rule[rule] = by_rule.get(rule, 0) + applications
@@ -83,40 +106,86 @@ class Rewriter:
             )
 
     def normalize(self, term: Term) -> Term:
-        """Return the normal form of ``term`` under this rewriter's rules."""
+        """Return the normal form of ``term`` under this rewriter's rules.
+
+        The traversal is an explicit-stack DFS over the DAG -- the exact
+        recursion structure of the classic algorithm (preorder charging,
+        left-to-right children, postorder rebuild, per-node fixpoint with
+        suspension when a replacement needs normalizing first), so memo
+        contents, term-creation order, and stats are bit-identical to the
+        recursive formulation while depth is bounded by heap only.
+        """
         memo = self._memo
         hit = memo.get(term._id)
         if hit is not None:
             return hit
-        self._charge(nodes=1)
-        if term.args:
-            new_args = tuple(self.normalize(a) for a in term.args)
-            # Always rebuild through the smart constructors: terms built with
-            # the raw constructor (e.g. by shape-preserving substitution in
-            # the WP calculus) fold only here.
-            current = rebuild_smart(term.op, new_args, term.value)
-            if current is not term and current._id in memo:
-                memo[term._id] = memo[current._id]
-                return memo[term._id]
-        else:
-            current = term
-        for _ in range(_MAX_FIXPOINT_ITERS):
+        stack = [(_EXPAND, term, None)]
+        while stack:
+            state, node, pending = stack.pop()
+            if state == _EXPAND:
+                if node._id in memo:
+                    continue
+                self._charge(nodes=1)
+                if node.args:
+                    stack.append((_REBUILD, node, None))
+                    for a in reversed(node.args):
+                        if a._id not in memo:
+                            stack.append((_EXPAND, a, None))
+                    continue
+                suspended = self._fixpoint(node, node, _MAX_FIXPOINT_ITERS)
+            elif state == _REBUILD:
+                # Always rebuild through the smart constructors: terms
+                # built with the raw constructor (e.g. by shape-preserving
+                # substitution in the WP calculus) fold only here.
+                current = rebuild_smart(
+                    node.op, tuple(memo[a._id] for a in node.args),
+                    node.value)
+                if current is not node and current._id in memo:
+                    memo[node._id] = memo[current._id]
+                    continue
+                suspended = self._fixpoint(node, current,
+                                           _MAX_FIXPOINT_ITERS)
+            else:  # _RESUME: the suspended replacement is normalized now.
+                replacement, iters = pending
+                suspended = self._fixpoint(node, memo[replacement._id],
+                                           iters)
+            if suspended is not None:
+                stack.append((_RESUME, node, suspended))
+                stack.append((_EXPAND, suspended[0], None))
+        return memo[term._id]
+
+    def _fixpoint(self, node: Term, current: Term, iters: int):
+        """Drive ``node``'s rewrite fixpoint starting from ``current``.
+
+        Returns ``None`` once ``node`` is memoized, or ``(replacement,
+        iters_left)`` to suspend so the caller can normalize a freshly
+        built replacement -- its spine may expose further redexes even
+        though its leaves are already normal -- before resuming.
+        """
+        memo = self._memo
+        while iters:
+            iters -= 1
             replacement = self._apply_one(current)
             if replacement is None:
                 break
-            # Normalize the replacement: its freshly built spine may expose
-            # further redexes even though its leaves are already normal.
             if replacement._id in memo:
                 current = memo[replacement._id]
             elif replacement.args and any(
-                a._id not in memo or memo[a._id] is not a for a in replacement.args
+                a._id not in memo or memo[a._id] is not a
+                for a in replacement.args
             ):
-                current = self.normalize(replacement)
+                return replacement, iters
             else:
                 current = replacement
-        memo[term._id] = current
+        else:
+            # The fixpoint did not converge: memoizing ``current`` below
+            # caches a possibly-reducible term as "normal".  Count it and
+            # charge the budget so the overrun shows up in the examiner
+            # report (or trips RewriteBudgetExceeded) instead of hiding.
+            self._charge(exhausted=1)
+        memo[node._id] = current
         memo[current._id] = current
-        return current
+        return None
 
     def _apply_one(self, term: Term) -> Optional[Term]:
         for rule in self.rules:

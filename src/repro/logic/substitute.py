@@ -9,6 +9,10 @@ Two flavours are provided:
 * :func:`substitute_simplifying` -- rebuilds through the smart constructors
   (constant folding, select-over-store, ...).  This is what symbolic
   execution uses, where we *want* states to stay in a folded normal form.
+
+Both walk the term with the generator trampoline from
+:mod:`repro.logic.traversal`, so substitution into arbitrarily deep terms
+is safe on the small fixed C stacks of scheduler worker threads.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from typing import Callable, Dict, Mapping
 
 from . import builders
 from .terms import Term, mk
+from .traversal import run_trampoline
 
 __all__ = ["substitute", "substitute_simplifying", "rebuild_smart", "rename_bound"]
 
@@ -87,6 +92,21 @@ def _subst(term: Term, mapping: Mapping[str, Term],
     hit = cache.get(term._id)
     if hit is not None:
         return hit
+    return run_trampoline(_subst_gen(term, mapping, rebuild, cache))
+
+
+def _subst_gen(term: Term, mapping: Mapping[str, Term],
+               rebuild: Callable, cache: Dict[int, Term]):
+    """Generator-recursive substitution driven by ``run_trampoline``.
+
+    The substitution cache is per (mapping, binder context): descending
+    under a quantifier changes the mapping, so the body walk gets a fresh
+    cache, exactly as the context argument would change in the recursive
+    formulation.
+    """
+    hit = cache.get(term._id)
+    if hit is not None:
+        return hit
     if term.op == "var":
         result = mapping.get(term.value, term)
     elif not term.args and term.op not in ("forall", "exists"):
@@ -106,10 +126,16 @@ def _subst(term: Term, mapping: Mapping[str, Term],
                 term = rename_bound(term, replaced_frees | set(inner))
                 bound = set(term.value)
                 inner = {k: v for k, v in mapping.items() if k not in bound}
-            body = _subst(term.args[0], inner, rebuild, {})
+            body = yield _subst_gen(term.args[0], inner, rebuild, {})
             result = rebuild(term.op, (body,), term.value)
     else:
-        new_args = tuple(_subst(a, mapping, rebuild, cache) for a in term.args)
+        new_args = []
+        for a in term.args:
+            h = cache.get(a._id)
+            if h is None:
+                h = yield _subst_gen(a, mapping, rebuild, cache)
+            new_args.append(h)
+        new_args = tuple(new_args)
         if all(n is o for n, o in zip(new_args, term.args)):
             result = term
         else:

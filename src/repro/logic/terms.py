@@ -176,17 +176,18 @@ def mk(op: str, args: Tuple[Term, ...] = (), value=None) -> Term:
 
 
 def _free_vars(term: Term) -> frozenset:
+    from .traversal import postorder_missing  # late: keep terms dependency-free
+
     cache = term_table._free_vars_cache
     result = cache.get(term._id)
     if result is not None:
         return result
     # Iterative post-order (children strictly before parents) so huge DAGs do
-    # not blow the recursion limit.  Concurrent calls race benignly: each
-    # thread computes the same frozenset for the same node; setdefault
-    # publishes the first writer's object so all threads share one value.
-    for node in term.iter_dag():
-        if node._id in cache:
-            continue
+    # not blow the recursion limit; the walk prunes at already-computed
+    # subterms.  Concurrent calls race benignly: each thread computes the
+    # same frozenset for the same node; setdefault publishes the first
+    # writer's object so all threads share one value.
+    for node in postorder_missing(term, cache):
         if node.op == "var":
             acc = frozenset([node.value])
         else:

@@ -69,6 +69,10 @@ def render_report(report: MetricsReport) -> str:
                 f"  analysis work              {v.work_units} units "
                 f"(~{v.simulated_seconds:.1f} s simulated)",
             ]
+            if v.fixpoint_exhausted:
+                lines.append(
+                    f"  rewrite fixpoints exhausted {v.fixpoint_exhausted} "
+                    f"(residues may not be normal forms)")
         else:
             lines.append("  VC analysis                INFEASIBLE "
                          "(resources exhausted)")

@@ -30,6 +30,9 @@ class VCMetrics:
     work_units: int
     simulated_seconds: float
     wall_seconds: float
+    #: Rewrite fixpoints that exhausted their iteration budget; nonzero
+    #: means some simplified residues are best-effort, not normal forms.
+    fixpoint_exhausted: int = 0
 
     @property
     def generated_mb(self) -> float:
@@ -52,4 +55,5 @@ def vc_metrics(report: ExaminerReport) -> VCMetrics:
         work_units=report.work_units,
         simulated_seconds=report.simulated_seconds,
         wall_seconds=report.wall_seconds,
+        fixpoint_exhausted=report.fixpoint_exhausted,
     )

@@ -131,6 +131,11 @@ class ImplementationProof:
         self.cache = cache
         self.telemetry = telemetry
         self.obligation_timeout = obligation_timeout
+        #: Guards lazy per-subprogram prover construction across scheduler
+        #: worker threads.  One lock per proof session: every discharge
+        #: thunk synchronizes on this same instance (a per-call fallback
+        #: lock would provide no mutual exclusion at all).
+        self._provers_lock = threading.Lock()
 
     def run(self, subprogram_names: Optional[Sequence[str]] = None
             ) -> ImplementationProofResult:
@@ -142,7 +147,6 @@ class ImplementationProof:
         config = self._prover_config()
         auto_provers: Dict[str, AutoProver] = {}
         interactive_provers: Dict[str, InteractiveProver] = {}
-        provers_lock = threading.Lock()
 
         # Assemble the outcome list as slots so simplifier-discharged VCs
         # keep their historical interleaved positions.
@@ -156,8 +160,7 @@ class ImplementationProof:
                                                     stage="simplifier")))
                     continue
                 discharge = self._discharger(vc, auto_provers,
-                                             interactive_provers,
-                                             provers_lock)
+                                             interactive_provers)
                 obligations.append(vc_obligation(
                     vc, discharge, package_fp=package_fp, config=config))
                 vc_records.append(vc)
@@ -204,8 +207,7 @@ class ImplementationProof:
 
     def _discharger(self, vc: VCRecord,
                     auto_provers: Dict[str, AutoProver],
-                    interactive_provers: Dict[str, InteractiveProver],
-                    provers_lock: threading.Lock):
+                    interactive_provers: Dict[str, InteractiveProver]):
         """The thunk for one VC: auto prover, then interactive scripts --
         exactly the historical inline sequence.  Provers are created
         lazily per subprogram; obligations of one subprogram share a
@@ -213,7 +215,7 @@ class ImplementationProof:
         at a time and sees its VCs in the serial order."""
 
         def discharge():
-            with provers_lock:
+            with self._provers_lock:
                 prover = auto_provers.get(vc.subprogram)
                 if prover is None:
                     prover = AutoProver(
@@ -223,21 +225,18 @@ class ImplementationProof:
             result = prover.prove(vc.simplified.simplified)
             if result.proved:
                 return "auto", result
-            outcome = self._try_scripts(vc, interactive_provers,
-                                        provers_lock)
+            outcome = self._try_scripts(vc, interactive_provers)
             return outcome.stage, outcome.result
 
         return discharge
 
     def _try_scripts(self, vc: VCRecord,
-                     interactive_provers: Dict[str, InteractiveProver],
-                     provers_lock: Optional[threading.Lock] = None
+                     interactive_provers: Dict[str, InteractiveProver]
                      ) -> VCOutcome:
         scripts = self.scripts.get(vc.subprogram, ())
         if not scripts:
             return VCOutcome(vc=vc, stage="undischarged")
-        lock = provers_lock if provers_lock is not None else threading.Lock()
-        with lock:
+        with self._provers_lock:
             prover = interactive_provers.get(vc.subprogram)
             if prover is None:
                 prover = InteractiveProver(self.typed,

@@ -112,6 +112,12 @@ class Simplifier:
     def work(self) -> int:
         return self.rewriter.stats.work
 
+    @property
+    def fixpoint_exhausted(self) -> int:
+        """Per-node rewrite fixpoints that gave up before converging (their
+        results may not be normal forms; surfaced in the examiner report)."""
+        return self.rewriter.stats.fixpoint_exhausted
+
     def simplify(self, obligation: Obligation) -> SimplifiedVC:
         before = self.rewriter.stats.work
         try:
@@ -130,29 +136,51 @@ class Simplifier:
     # -- contextual simplification -------------------------------------------
 
     def _contextual(self, term: Term, env: Dict[str, Interval]) -> Term:
-        """Walk nested implications, harvesting hypothesis facts."""
-        if term.op != "implies":
-            return self._decide(term, env)
-        hyp, concl = term.args
-        hyps = list(hyp.args) if hyp.op == "and" else [hyp]
-        local_env = dict(env)
-        equalities: Dict[str, Term] = {}
-        for h in hyps:
-            if h.is_false:
-                return conj()  # false hypotheses: trivially true VC
-            self._harvest(h, local_env, equalities)
-        if equalities:
-            concl = substitute_simplifying(concl, equalities)
-            concl = self.rewriter.normalize(concl)
-        concl = self._contextual(concl, local_env)
-        if concl.is_true:
-            return concl
-        # Re-decide with the harvested environment.
-        decided = self._decide(concl, local_env)
-        if decided.is_true or decided.is_false:
-            return decided
-        kept = self._prune(hyps, decided)
-        return implies(conj(*kept), decided)
+        """Walk nested implications, harvesting hypothesis facts.
+
+        Iterative: the descent peels one ``implies`` level at a time onto
+        an explicit frame stack (guard chains nest one level per control
+        path, so VC implication towers track program depth), then the
+        unwind re-decides each conclusion against its harvested
+        environment -- the same order of operations as the recursive
+        formulation, with bounded interpreter stack."""
+        frames = []  # (hyps, local_env) pending reconstruction, innermost last
+        current, cur_env = term, env
+        result = None
+        while True:
+            if current.op != "implies":
+                result = self._decide(current, cur_env)
+                break
+            hyp, concl = current.args
+            hyps = list(hyp.args) if hyp.op == "and" else [hyp]
+            local_env = dict(cur_env)
+            equalities: Dict[str, Term] = {}
+            false_hyp = False
+            for h in hyps:
+                if h.is_false:
+                    false_hyp = True
+                    break
+                self._harvest(h, local_env, equalities)
+            if false_hyp:
+                result = conj()  # false hypotheses: trivially true VC
+                break
+            if equalities:
+                concl = substitute_simplifying(concl, equalities)
+                concl = self.rewriter.normalize(concl)
+            frames.append((hyps, local_env))
+            current, cur_env = concl, local_env
+        while frames:
+            hyps, local_env = frames.pop()
+            if result.is_true:
+                continue
+            # Re-decide with the harvested environment.
+            decided = self._decide(result, local_env)
+            if decided.is_true or decided.is_false:
+                result = decided
+                continue
+            kept = self._prune(hyps, decided)
+            result = implies(conj(*kept), decided)
+        return result
 
     def _harvest(self, h: Term, env: Dict[str, Interval],
                  equalities: Dict[str, Term]):

@@ -100,30 +100,28 @@ class _WP:
     # -- modified-variable analysis ------------------------------------------
 
     def modified_vars(self, stmts: Sequence[ast.Stmt]) -> set:
+        """Worklist walk (no recursion): nesting depth of generated code is
+        unbounded in principle, and only a set is accumulated."""
         out = set()
-        for stmt in stmts:
-            self._collect_modified(stmt, out)
+        work = list(stmts)
+        while work:
+            stmt = work.pop()
+            if isinstance(stmt, ast.Assign):
+                out.add(_root_name(stmt.target))
+            elif isinstance(stmt, ast.If):
+                for _, body in stmt.branches:
+                    work.extend(body)
+                work.extend(stmt.else_body)
+            elif isinstance(stmt, (ast.For, ast.While)):
+                if isinstance(stmt, ast.For):
+                    out.add(stmt.var)
+                work.extend(stmt.body)
+            elif isinstance(stmt, ast.ProcCall):
+                callee = self.typed.signatures[stmt.name]
+                for arg, param in zip(stmt.args, callee.params):
+                    if param.mode != "in":
+                        out.add(_root_name(arg))
         return out
-
-    def _collect_modified(self, stmt: ast.Stmt, out: set):
-        if isinstance(stmt, ast.Assign):
-            out.add(_root_name(stmt.target))
-        elif isinstance(stmt, ast.If):
-            for _, body in stmt.branches:
-                for s in body:
-                    self._collect_modified(s, out)
-            for s in stmt.else_body:
-                self._collect_modified(s, out)
-        elif isinstance(stmt, (ast.For, ast.While)):
-            if isinstance(stmt, ast.For):
-                out.add(stmt.var)
-            for s in stmt.body:
-                self._collect_modified(s, out)
-        elif isinstance(stmt, ast.ProcCall):
-            callee = self.typed.signatures[stmt.name]
-            for arg, param in zip(stmt.args, callee.params):
-                if param.mode != "in":
-                    out.add(_root_name(arg))
 
     # -- statement WP ----------------------------------------------------------
 
