@@ -1,18 +1,35 @@
 """Obligation-scheduler benchmark: the full AES verification run serial,
-parallel, and warm-cache.
+parallel, and warm-cache, plus the cross-backend gate.
 
-Serial (``jobs=1``) is the pre-scheduler baseline path; parallel fans the
-same obligations over a thread pool (thread-bound -- terms are hash-consed
-process-globally -- so the win is bounded by how much discharge time is
-spent outside the interpreter loop); warm-cache replays every obligation
-from the content-addressed cache and must perform **zero** auto-stage VC
-discharges.
+Serial (``jobs=1``) is the pre-scheduler baseline path; thread-parallel
+fans the same obligations over a thread pool (GIL-bound -- terms are
+hash-consed process-globally -- so the win is bounded by how much
+discharge time is spent outside the interpreter loop); process-parallel
+ships declarative payloads to worker processes for true multi-core
+proving; warm-cache replays every obligation from the content-addressed
+cache and must perform **zero** auto-stage VC discharges.
+
+The cross-backend gate runs the full AES implementation proof (the
+paper's 306-VC corpus) on all three backends and requires bit-identical
+per-VC outcomes.  On a multi-core machine the process backend must also
+be at least 1.5x faster than the serial baseline.
+
+Check mode (``REPRO_BENCH_CHECK=1``, used by CI): the differential gate
+still runs in full, but the speedup assertion is skipped -- CI runners
+make no timing promises.  The gate, not the timing, is the correctness
+contract.
 """
 
+import os
 import time
 
+from repro.aes.annotations import annotated_package
+from repro.aes.proof_scripts import aes_proof_scripts
 from repro.core.pipeline import verify_aes
-from repro.exec import ResultCache, Telemetry
+from repro.exec import ExecConfig, ResultCache, Telemetry
+from repro.prover import ImplementationProof
+
+CHECK_MODE = os.environ.get("REPRO_BENCH_CHECK", "") not in ("", "0")
 
 
 def _outcome_stages(result):
@@ -21,21 +38,31 @@ def _outcome_stages(result):
             for o in result.implementation.outcomes]
 
 
+def _vc_outcomes(result):
+    return [(o.vc.subprogram, o.vc.name, o.vc.kind, o.stage,
+             o.result.proved if o.result else None,
+             o.result.method if o.result else None)
+            for o in result.outcomes]
+
+
 def bench_scheduler_modes(benchmark):
     cache = ResultCache()
     tel_serial, tel_parallel, tel_warm = (
         Telemetry(), Telemetry(), Telemetry())
 
     serial = benchmark.pedantic(
-        lambda: verify_aes(jobs=1, cache=cache, telemetry=tel_serial),
+        lambda: verify_aes(exec=ExecConfig(jobs=1, cache=cache,
+                                           telemetry=tel_serial)),
         rounds=1, iterations=1)
 
     t0 = time.perf_counter()
-    parallel = verify_aes(jobs=4, cache=False, telemetry=tel_parallel)
+    parallel = verify_aes(exec=ExecConfig(jobs=4, cache=False,
+                                          telemetry=tel_parallel))
     parallel_s = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    warm = verify_aes(jobs=1, cache=cache, telemetry=tel_warm)
+    warm = verify_aes(exec=ExecConfig(jobs=1, cache=cache,
+                                      telemetry=tel_warm))
     warm_s = time.perf_counter() - t0
 
     s_serial = tel_serial.stats()
@@ -56,3 +83,47 @@ def bench_scheduler_modes(benchmark):
     assert s_warm.computed.get("vc", 0) == 0
     assert s_warm.cached.get("vc", 0) == s_serial.computed.get("vc", 0)
     assert _outcome_stages(warm) == _outcome_stages(serial)
+
+
+def bench_scheduler_backends(benchmark):
+    """The cross-backend gate on the full AES VC corpus.
+
+    serial / thread jobs=4 / process jobs=4 must produce bit-identical
+    per-VC outcomes; on a multi-core machine the process backend must
+    beat the serial baseline by >= 1.5x (skipped in check mode and on
+    single-core machines, where a process pool cannot beat anything).
+    """
+    typed = annotated_package()
+    scripts = aes_proof_scripts()
+    jobs = min(4, os.cpu_count() or 1) if CHECK_MODE else 4
+
+    def run(backend, n):
+        t0 = time.perf_counter()
+        result = ImplementationProof(
+            typed, scripts=scripts,
+            exec=ExecConfig(jobs=n, backend=backend, cache=False)).run()
+        return result, time.perf_counter() - t0
+
+    serial, serial_s = benchmark.pedantic(
+        lambda: run("serial", 1), rounds=1, iterations=1)
+    thread, thread_s = run("thread", jobs)
+    process, process_s = run("process", jobs)
+
+    print()
+    print(f"serial            {serial_s:.1f} s "
+          f"({serial.total_vcs} VCs, {serial.auto_percent:.1f}% auto)")
+    print(f"thread  jobs={jobs}    {thread_s:.1f} s")
+    print(f"process jobs={jobs}    {process_s:.1f} s "
+          f"(speedup {serial_s / process_s:.2f}x over serial)")
+
+    # The differential gate: all three backends, bit-identical outcomes.
+    assert _vc_outcomes(thread) == _vc_outcomes(serial)
+    assert _vc_outcomes(process) == _vc_outcomes(serial)
+    assert process.auto_percent == serial.auto_percent
+    assert process.fully_automatic_subprograms() == \
+        serial.fully_automatic_subprograms()
+
+    if not CHECK_MODE and (os.cpu_count() or 1) >= 2:
+        assert serial_s / process_s >= 1.5, (
+            f"process backend speedup {serial_s / process_s:.2f}x "
+            f"< 1.5x on a {os.cpu_count()}-core machine")

@@ -24,20 +24,31 @@ The package implements the paper's entire stack from scratch in Python:
 * :mod:`repro.aes` — the complete AES case study (FIPS-197 theory,
   optimized T-table implementation, 14 transformation blocks, annotations);
 * :mod:`repro.defects` — the section-7 seeded-defect experiment;
-* :mod:`repro.harness` — regenerates every table and figure of the paper.
+* :mod:`repro.harness` — regenerates every table and figure of the paper;
+* :mod:`repro.exec` — the obligation execution layer: scheduling over
+  serial/thread/process backends, content-addressed result caching, and
+  structured telemetry, configured through :class:`~repro.exec.ExecConfig`.
 
 Quickstart::
 
-    from repro import EchoVerifier, verify_aes
+    from repro import ExecConfig, verify_aes
     result = verify_aes()       # the full AES case study (a few minutes)
     print(result.summary())
+
+    # multi-core proving with a shared incremental cache
+    from repro import ResultCache
+    cache = ResultCache()
+    result = verify_aes(exec=ExecConfig(jobs=4, backend="process",
+                                        cache=cache))
 """
 
 from .core import (
     EchoResult, EchoVerifier, MetricsGate, RefactoringProcess, verify_aes,
 )
+from .exec import ExecConfig, ResultCache, Telemetry
 
 __version__ = "1.0.0"
 
 __all__ = ["EchoVerifier", "EchoResult", "MetricsGate",
-           "RefactoringProcess", "verify_aes", "__version__"]
+           "RefactoringProcess", "verify_aes",
+           "ExecConfig", "ResultCache", "Telemetry", "__version__"]

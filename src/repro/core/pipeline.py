@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..exec.config import UNSET, ExecConfig, coerce_exec_config
 from ..extract import extract_specification, match_ratio
 from ..implication import prove_implication
 from ..lang import TypedPackage, analyze, ast, print_package
@@ -36,21 +37,25 @@ class EchoVerifier:
                  observables: Sequence[str],
                  samplers: Optional[dict] = None,
                  check: str = "full", trials: int = 24,
-                 jobs: int = 1, cache=None, telemetry=None):
-        """``jobs``/``cache``/``telemetry`` configure the obligation
-        execution layer (:mod:`repro.exec`) for all three proof legs.
-        By default each verifier gets its own :class:`Telemetry`, whose
-        aggregate statistics land on the resulting
-        :class:`~repro.core.results.EchoResult`."""
+                 exec: Optional["ExecConfig"] = None,
+                 jobs=UNSET, cache=UNSET, telemetry=UNSET):
+        """``exec`` configures the obligation execution layer
+        (:mod:`repro.exec`) -- backend, job count, cache, telemetry,
+        timeouts -- for all three proof legs; the bare
+        ``jobs``/``cache``/``telemetry`` keywords are deprecated shims
+        for it.  By default each verifier gets its own
+        :class:`Telemetry`, whose aggregate statistics land on the
+        resulting :class:`~repro.core.results.EchoResult`."""
         from ..exec import Telemetry
-        self.jobs = jobs
-        self.cache = cache
-        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        config = coerce_exec_config(exec, owner="EchoVerifier", jobs=jobs,
+                                    cache=cache, telemetry=telemetry)
+        if config.telemetry is None:
+            config = config.with_telemetry(Telemetry())
+        self.exec = config
+        self.telemetry = config.telemetry
         self.engine = RefactoringEngine(package, observables=observables,
                                         check=check, trials=trials,
-                                        samplers=samplers,
-                                        jobs=jobs, cache=cache,
-                                        telemetry=self.telemetry)
+                                        samplers=samplers, exec=config)
         self.specification = specification
         self.applications = []
 
@@ -75,15 +80,12 @@ class EchoVerifier:
             else self.engine.typed
 
         implementation = ImplementationProof(
-            typed, scripts=scripts, jobs=self.jobs, cache=self.cache,
-            telemetry=self.telemetry).run()
+            typed, scripts=scripts, exec=self.exec).run()
 
         extraction = extract_specification(typed)
         match = match_ratio(self.specification, extraction.theory)
         implication = prove_implication(self.specification,
-                                        extraction.theory,
-                                        jobs=self.jobs, cache=self.cache,
-                                        telemetry=self.telemetry)
+                                        extraction.theory, exec=self.exec)
 
         from ..metrics import element_metrics
         return EchoResult(
@@ -98,15 +100,19 @@ class EchoVerifier:
 
 
 def verify_aes(check: str = "differential", trials: int = 6,
-               jobs: int = 1, cache=None, telemetry=None) -> EchoResult:
+               exec: Optional["ExecConfig"] = None,
+               jobs=UNSET, cache=UNSET, telemetry=UNSET) -> EchoResult:
     """The complete AES verification: optimized implementation, 14
     transformation blocks, annotation, implementation proof, extraction,
     implication against FIPS-197.
 
-    ``jobs=N`` fans proof obligations out over a thread pool; ``jobs=1``
-    (the default) is the guaranteed-deterministic serial path.  Passing a
-    shared :class:`~repro.exec.ResultCache` across calls makes repeat
-    verification incremental (unchanged obligations replay from cache)."""
+    ``exec=ExecConfig(jobs=N, backend='process')`` fans proof obligations
+    out over worker processes (``backend='thread'`` for a thread pool);
+    the default is the guaranteed-deterministic serial path.  An
+    ``ExecConfig`` carrying a shared :class:`~repro.exec.ResultCache`
+    across calls makes repeat verification incremental (unchanged
+    obligations replay from cache).  The bare ``jobs``/``cache``/
+    ``telemetry`` keywords are deprecated shims for ``exec``."""
     from ..aes.annotations import build_annotated
     from ..aes.blocks import AESPipeline, transformation_blocks, \
         cipher_sampler
@@ -115,13 +121,14 @@ def verify_aes(check: str = "differential", trials: int = 6,
     from ..aes.proof_scripts import aes_proof_scripts
     from ..lang import parse_package
 
+    config = coerce_exec_config(exec, owner="verify_aes", jobs=jobs,
+                                cache=cache, telemetry=telemetry)
     verifier = EchoVerifier(
         parse_package(optimized_source()),
         fips197_theory(),
         observables=["Cipher", "Inv_Cipher"],
         samplers={"Cipher": cipher_sampler, "Inv_Cipher": cipher_sampler},
-        check=check, trials=trials,
-        jobs=jobs, cache=cache, telemetry=telemetry,
+        check=check, trials=trials, exec=config,
     )
     for _, transformations in transformation_blocks():
         verifier.refactor(transformations)

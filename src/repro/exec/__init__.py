@@ -5,30 +5,45 @@ The three proof layers of the Echo pipeline -- VC discharge
 (:mod:`repro.refactor.engine`), and implication lemmas
 (:mod:`repro.implication`) -- express their work as uniform
 :class:`~repro.exec.obligation.Obligation` values and hand them to an
-:class:`~repro.exec.scheduler.ObligationScheduler`, which runs them on a
-thread pool (``jobs=N``) or inline (``jobs=1``, bit-identical to the
-historical serial path), consults a content-addressed
+:class:`~repro.exec.scheduler.ObligationScheduler`, which runs them on
+one of three backends -- inline (``backend='serial'`` or ``jobs=1``,
+bit-identical to the historical serial path), a thread pool
+(``backend='thread'``), or a process pool (``backend='process'``, true
+multi-core proving via the declarative payloads of
+:mod:`repro.exec.payload`) -- consults a content-addressed
 :class:`~repro.exec.cache.ResultCache`, and records structured
 :class:`~repro.exec.telemetry.Telemetry` events.
+
+Callers configure all of this through one value object,
+:class:`~repro.exec.config.ExecConfig`, threaded as the ``exec=``
+parameter of every proof entry point.
 """
 
 from .cache import (
     ResultCache, default_cache, make_key, package_fingerprint,
     theory_fingerprint,
 )
+from .config import ExecConfig, coerce_exec_config
 from .events import ObligationEvent
 from .obligation import (
     EQUIV_TRIAL, LEMMA, VC, Obligation, equiv_trial_obligation,
     lemma_obligation, vc_obligation,
 )
-from .scheduler import ObligationOutcome, ObligationScheduler
+from .payload import (
+    CallPayload, EquivTrialPayload, LemmaPayload, ObligationPayload,
+    VCPayload,
+)
+from .scheduler import BACKENDS, ObligationOutcome, ObligationScheduler
 from .telemetry import ExecStats, Telemetry, default_telemetry
 
 __all__ = [
-    "Obligation", "ObligationOutcome", "ObligationScheduler",
+    "Obligation", "ObligationOutcome", "ObligationScheduler", "BACKENDS",
+    "ExecConfig", "coerce_exec_config",
     "ObligationEvent", "ExecStats", "Telemetry", "default_telemetry",
     "ResultCache", "default_cache", "make_key",
     "package_fingerprint", "theory_fingerprint",
     "vc_obligation", "equiv_trial_obligation", "lemma_obligation",
+    "ObligationPayload", "VCPayload", "EquivTrialPayload", "LemmaPayload",
+    "CallPayload",
     "VC", "EQUIV_TRIAL", "LEMMA",
 ]

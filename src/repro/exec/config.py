@@ -1,0 +1,149 @@
+"""The unified execution configuration for the proof layers.
+
+Every Echo entry point that discharges obligations -- the verifier
+pipeline, the implementation proof, the refactoring engine's differential
+checks, the implication proof, the harness statistics -- takes one
+``exec=ExecConfig(...)`` parameter instead of a copy-pasted
+``jobs=/cache=/telemetry=`` keyword triplet.  The config is an immutable
+value object; components derive per-run :class:`~repro.exec.scheduler
+.ObligationScheduler` instances from it via :meth:`ExecConfig.scheduler`.
+
+Migration: the legacy keyword triplet still works on every public entry
+point -- it is coerced into an ``ExecConfig`` by :func:`coerce_exec_config`
+with a :class:`DeprecationWarning` -- but new code should construct the
+config directly::
+
+    from repro import ExecConfig, verify_aes
+    result = verify_aes(exec=ExecConfig(jobs=8, backend="process"))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from .scheduler import BACKENDS, ObligationScheduler
+from .telemetry import Telemetry
+
+__all__ = ["ExecConfig", "coerce_exec_config", "UNSET"]
+
+
+class _Unset:
+    """Sentinel distinguishing 'not passed' from explicit None/False."""
+
+    def __repr__(self):
+        return "<unset>"
+
+
+#: Default value of deprecated keyword parameters.
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """How proof obligations are executed.
+
+    ``jobs``             worker count; 1 is the guaranteed-deterministic
+                         serial path.  None selects ``os.cpu_count()``.
+    ``backend``          'serial', 'thread' (GIL-bound, cheap start-up)
+                         or 'process' (true multi-core proving).
+    ``cache``            a :class:`~repro.exec.cache.ResultCache`, None
+                         for the process-wide default, or False to
+                         disable caching outright.
+    ``telemetry``        a :class:`~repro.exec.telemetry.Telemetry`, or
+                         None for the component's default (the verifier
+                         allocates one per run; bare schedulers fall back
+                         to the process-wide log).
+    ``timeout_seconds``  per-obligation wall bound.  The process backend
+                         enforces it preemptively (SIGALRM in the
+                         worker); the thread backend can only abandon the
+                         overrun thread.
+    ``retries``          re-runs granted to a raising obligation.
+    ``on_error``         'raise' (propagate, the historical behaviour) or
+                         'record' (mark the obligation ``errored``).
+    """
+
+    jobs: Optional[int] = 1
+    backend: str = "thread"
+    cache: Any = None
+    telemetry: Optional[Telemetry] = None
+    timeout_seconds: Optional[float] = None
+    retries: int = 0
+    on_error: str = "raise"
+
+    def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, "
+                             f"got {self.backend!r}")
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs!r}")
+        if self.on_error not in ("raise", "record"):
+            raise ValueError(f"on_error must be 'raise' or 'record', "
+                             f"got {self.on_error!r}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries!r}")
+
+    # -- derivation ---------------------------------------------------------
+
+    def scheduler(self) -> ObligationScheduler:
+        """A scheduler configured by this config (one per run)."""
+        return ObligationScheduler(
+            jobs=self.jobs, cache=self.cache, telemetry=self.telemetry,
+            timeout_seconds=self.timeout_seconds, retries=self.retries,
+            on_error=self.on_error, backend=self.backend)
+
+    def with_telemetry(self, telemetry: Telemetry) -> "ExecConfig":
+        """This config with ``telemetry`` bound (components that own a
+        per-run telemetry push it down to sub-components this way)."""
+        return dataclasses.replace(self, telemetry=telemetry)
+
+    @property
+    def effective_serial(self) -> bool:
+        """True when obligations are guaranteed to run inline, in order,
+        on the calling thread."""
+        return self.backend == "serial" or self.jobs == 1
+
+
+def coerce_exec_config(exec: Optional[ExecConfig], *, owner: str,
+                       jobs: Any = UNSET, cache: Any = UNSET,
+                       telemetry: Any = UNSET,
+                       timeout_seconds: Any = UNSET) -> ExecConfig:
+    """Resolve an entry point's ``exec=`` parameter against its deprecated
+    keyword shims.
+
+    Passing any legacy keyword builds an equivalent ``ExecConfig`` and
+    emits a :class:`DeprecationWarning` naming ``owner``; mixing legacy
+    keywords with an explicit ``exec=`` is an error (two sources of
+    truth).  With neither, the default config applies.
+    """
+    legacy = {name: value for name, value in
+              (("jobs", jobs), ("cache", cache), ("telemetry", telemetry),
+               ("timeout_seconds", timeout_seconds))
+              if value is not UNSET}
+    if exec is not None:
+        if not isinstance(exec, ExecConfig):
+            raise TypeError(
+                f"{owner}: exec must be an ExecConfig, got "
+                f"{type(exec).__name__} (legacy jobs=/cache=/telemetry= "
+                f"values must be passed by keyword)")
+        if legacy:
+            raise TypeError(
+                f"{owner}: pass either exec=ExecConfig(...) or the "
+                f"deprecated {sorted(legacy)} keywords, not both")
+        return exec
+    if not legacy:
+        return ExecConfig()
+    replacement = ", ".join(f"{name}={value!r}"
+                            for name, value in sorted(legacy.items()))
+    warnings.warn(
+        f"{owner}: the jobs=/cache=/telemetry= keyword triplet is "
+        f"deprecated; pass exec=ExecConfig({replacement}) instead",
+        DeprecationWarning, stacklevel=3)
+    jobs_value = legacy.get("jobs")
+    return ExecConfig(
+        jobs=1 if jobs_value is None else jobs_value,
+        cache=legacy.get("cache"),
+        telemetry=legacy.get("telemetry"),
+        timeout_seconds=legacy.get("timeout_seconds"))

@@ -18,6 +18,14 @@ path used to run inline, and the adapter only attaches a stable cache key
 configuration) and, where the result is plain data, JSON codecs for the
 on-disk cache layer.
 
+An obligation may additionally carry a declarative, picklable ``payload``
+(:mod:`repro.exec.payload`) describing the same work as data.  The serial
+and thread backends always execute the thunk; the process backend ships
+the payload to a worker, which reconstructs the thunk on its side of the
+process boundary.  Obligations without a payload still run under the
+process backend -- inline on the parent, preserving semantics at the cost
+of parallelism.
+
 Obligations in the same ``group`` are executed serially in submission
 order even under a parallel scheduler -- this is how per-subprogram prover
 state (memo caches, fresh-name counters) keeps its exact serial-run
@@ -54,6 +62,9 @@ class Obligation:
     #: JSON codecs for the on-disk cache layer; absent => memory-only.
     encode: Optional[Callable[[Any], Any]] = None
     decode: Optional[Callable[[Any], Any]] = None
+    #: Declarative picklable spec of the same work, for the process
+    #: backend (:mod:`repro.exec.payload`); None => parent-side only.
+    payload: Optional[Any] = None
 
 
 # ---------------------------------------------------------------------------
@@ -76,7 +87,8 @@ def _decode_vc_result(payload):
 
 
 def vc_obligation(vc, discharge: Callable[[], Any], *,
-                  package_fp: str, config: str = "") -> Obligation:
+                  package_fp: str, config: str = "",
+                  payload=None) -> Obligation:
     """Wrap the discharge of one :class:`~repro.vcgen.examiner.VCRecord`.
 
     ``discharge`` must return ``(stage, ProofResult-or-None)`` -- the
@@ -84,7 +96,8 @@ def vc_obligation(vc, discharge: Callable[[], Any], *,
     :class:`~repro.prover.session.VCOutcome`.  The key covers the
     simplified VC term, the VC's identity, the package text, and the
     prover configuration (timeouts, available scripts), so any change to
-    code, annotations, or setup is a miss.
+    code, annotations, or setup is a miss.  ``payload`` optionally names
+    the same discharge declaratively for the process backend.
     """
     from ..logic import fingerprint
     key = make_key(VC, package_fp, vc.subprogram, vc.name, vc.kind,
@@ -92,7 +105,8 @@ def vc_obligation(vc, discharge: Callable[[], Any], *,
     return Obligation(
         kind=VC, label=f"{vc.subprogram}/{vc.name}", thunk=discharge,
         cache_key=key, group=f"sp:{vc.subprogram}",
-        encode=_encode_vc_result, decode=_decode_vc_result)
+        encode=_encode_vc_result, decode=_decode_vc_result,
+        payload=payload)
 
 
 # ---------------------------------------------------------------------------
@@ -107,7 +121,8 @@ def _state_token(state) -> str:
 
 def equiv_trial_obligation(index: int, name: str, initial,
                            compare: Callable[[], Any], *,
-                           left_fp: str, right_fp: str) -> Obligation:
+                           left_fp: str, right_fp: str,
+                           payload=None) -> Obligation:
     """Wrap one differential trial: ``compare`` runs both sides from
     ``initial`` and returns a Counterexample or None.  Cached in memory
     only (counterexamples carry interpreter states, which we do not
@@ -116,36 +131,40 @@ def equiv_trial_obligation(index: int, name: str, initial,
                    _state_token(initial))
     return Obligation(
         kind=EQUIV_TRIAL, label=f"{name}#trial{index}", thunk=compare,
-        cache_key=key)
+        cache_key=key, payload=payload)
 
 
 # ---------------------------------------------------------------------------
 # Implication lemmas
 # ---------------------------------------------------------------------------
 
+def _encode_lemma_outcome(outcome):
+    """Scalar fields of a LemmaOutcome -- shared by the on-disk cache
+    codec and the process backend's result wire."""
+    return {"proved": outcome.proved, "evidence": outcome.evidence,
+            "is_proof": outcome.is_proof, "detail": outcome.detail,
+            "manual_steps": outcome.manual_steps}
+
+
 def lemma_obligation(lemma, discharge: Callable[[], Any], *,
                      original_fp: str, extracted_fp: str,
-                     seed: int) -> Obligation:
+                     seed: int, payload=None) -> Obligation:
     """Wrap one implication-lemma discharge.  ``discharge`` returns the
     :class:`~repro.implication.prover.LemmaOutcome`; the on-disk codec
     stores its scalar fields and re-attaches the in-memory lemma object on
     decode."""
 
-    def encode(outcome):
-        return {"proved": outcome.proved, "evidence": outcome.evidence,
-                "is_proof": outcome.is_proof, "detail": outcome.detail,
-                "manual_steps": outcome.manual_steps}
-
-    def decode(payload):
+    def decode(wire):
         from ..implication.prover import LemmaOutcome
-        return LemmaOutcome(lemma=lemma, proved=payload["proved"],
-                            evidence=payload["evidence"],
-                            is_proof=payload["is_proof"],
-                            detail=payload["detail"],
-                            manual_steps=payload["manual_steps"])
+        return LemmaOutcome(lemma=lemma, proved=wire["proved"],
+                            evidence=wire["evidence"],
+                            is_proof=wire["is_proof"],
+                            detail=wire["detail"],
+                            manual_steps=wire["manual_steps"])
 
     key = make_key(LEMMA, original_fp, extracted_fp, lemma.name, lemma.kind,
                    lemma.original, lemma.extracted, f"seed={seed}")
     return Obligation(
         kind=LEMMA, label=f"lemma:{lemma.name}", thunk=discharge,
-        cache_key=key, encode=encode, decode=decode)
+        cache_key=key, encode=_encode_lemma_outcome, decode=decode,
+        payload=payload)

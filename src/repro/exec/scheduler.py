@@ -2,26 +2,43 @@
 
 ``ObligationScheduler.run`` takes a list of :class:`Obligation` and
 returns one :class:`ObligationOutcome` per obligation, **in input order**
-regardless of completion order.  Two execution modes:
+regardless of completion order.  Three execution backends:
 
-* ``jobs == 1`` -- the guaranteed serial fallback: obligations run inline,
-  one after another, on the calling thread.  This path performs exactly
-  the work the pre-scheduler code ran, in the same order, so results are
-  bit-identical and tier-1 determinism is preserved.
-* ``jobs > 1`` -- a ``concurrent.futures.ThreadPoolExecutor``.  Threads
-  (not processes) because terms are hash-consed against a process-global
-  interning table with identity semantics; pickling a term into another
-  process would silently break ``__eq__ is is``.  Obligations sharing a
-  ``group`` are chained so they execute serially in submission order
-  (per-subprogram prover state keeps its serial discipline); distinct
-  groups and ungrouped obligations fan out freely.
+* ``backend='serial'`` (or ``jobs == 1``) -- the guaranteed serial
+  fallback: obligations run inline, one after another, on the calling
+  thread.  This path performs exactly the work the pre-scheduler code
+  ran, in the same order, so results are bit-identical and tier-1
+  determinism is preserved.
+* ``backend='thread'`` -- a ``concurrent.futures.ThreadPoolExecutor``.
+  Cheap to spin up and shares the parent's interned terms directly, but
+  GIL-bound for pure-Python proving: extra threads only help where
+  discharge time is spent outside the interpreter loop.
+* ``backend='process'`` -- a ``concurrent.futures.ProcessPoolExecutor``.
+  True multi-core proving for the embarrassingly parallel obligation
+  batches of the three proof legs.  The parent ships each obligation's
+  declarative ``payload`` (:mod:`repro.exec.payload`); terms inside it
+  cross the boundary via the structural wire format
+  (:mod:`repro.logic.wire`), which re-interns them worker-side so
+  hash-consing identity survives.  Obligations without a payload run
+  inline on the parent.
 
-Per-obligation timeout (parallel mode): the collector waits up to
-``timeout_seconds`` for each result and then marks the obligation
-``timed_out`` and moves on; the worker thread is abandoned (threads cannot
-be preempted) and its eventual result is discarded.  In serial mode the
-thunk's own internal timeouts (e.g. ``AutoProver.timeout_seconds``) bound
-the work, as they always did.
+Obligations sharing a ``group`` are chained so they execute serially in
+submission order on every backend (per-subprogram prover state keeps its
+serial discipline); distinct groups and ungrouped obligations fan out
+freely.  The cache and telemetry always live in the parent: workers
+return (wire-encoded) results plus timing, and the parent records events
+and populates the cache, so both behave identically across backends.
+
+Per-obligation timeout: the thread backend can only *abandon* an overrun
+worker thread (threads cannot be preempted) -- the collector marks the
+obligation ``timed_out`` and the thread's eventual result is discarded.
+The process backend upgrades this to a hard bound: the worker installs a
+``SIGALRM`` interval timer around the discharge, so an overrunning
+obligation is preempted mid-computation, reported ``timed_out``, and the
+worker process stays healthy for the next obligation.  (A stuck worker
+that fails to honor the alarm is abandoned by a parent-side fallback
+deadline.)  In serial mode the thunk's own internal timeouts
+(e.g. ``AutoProver.timeout_seconds``) bound the work, as they always did.
 
 Transient failures are retried up to ``retries`` times; a thunk that still
 raises either propagates (``on_error='raise'``, the default -- matching
@@ -32,9 +49,14 @@ the pre-scheduler behaviour) or is recorded as an ``errored`` outcome
 from __future__ import annotations
 
 import os
+import signal
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor, TimeoutError as _FutureTimeout
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor,
+    TimeoutError as _FutureTimeout, wait as _fut_wait,
+)
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -43,7 +65,10 @@ from .cache import ResultCache, default_cache
 from .obligation import Obligation
 from .telemetry import Telemetry, default_telemetry
 
-__all__ = ["ObligationOutcome", "ObligationScheduler"]
+__all__ = ["ObligationOutcome", "ObligationScheduler", "BACKENDS"]
+
+#: Recognized execution backends, in increasing order of isolation.
+BACKENDS = ("serial", "thread", "process")
 
 OK = "ok"
 CACHED = "cached"
@@ -70,15 +95,81 @@ class _Abandoned(Exception):
     """Internal: the collector stopped waiting for this obligation."""
 
 
+class _HardTimeout(BaseException):
+    """Worker-side: the per-obligation SIGALRM fired.  A BaseException so
+    no ``except Exception`` inside a discharge can swallow it."""
+
+
+def _process_worker(index: int, payload, retries: int,
+                    timeout_seconds: Optional[float]) -> tuple:
+    """Execute one obligation payload in a pool worker.
+
+    Returns ``(index, status, wire_value, wall, attempts, retry_errors,
+    exception-or-None)`` -- always plain picklable data; exceptions are
+    only shipped as objects when they themselves pickle.  ``status`` is
+    ``'ok'``, ``'timed_out'`` (the hard per-obligation deadline fired) or
+    ``'errored'``.  The timeout budget covers the whole obligation,
+    retries included, matching the thread backend's per-obligation wait.
+    """
+    import pickle
+
+    started = time.perf_counter()
+    attempts = 0
+    retry_errors: List[str] = []
+    alarmed = False
+    if timeout_seconds and hasattr(signal, "SIGALRM"):
+        def _on_alarm(signum, frame):
+            raise _HardTimeout()
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout_seconds)
+        alarmed = True
+    try:
+        while True:
+            attempts += 1
+            try:
+                value = payload.run()
+                wire = payload.encode_result(value)
+                return (index, "ok", wire,
+                        time.perf_counter() - started, attempts,
+                        tuple(retry_errors), None)
+            except _HardTimeout:
+                return (index, "timed_out", None,
+                        time.perf_counter() - started, attempts,
+                        tuple(retry_errors), None)
+            except Exception as exc:   # noqa: BLE001 - boundary by design
+                if attempts <= retries:
+                    retry_errors.append(str(exc))
+                    continue
+                try:
+                    pickle.dumps(exc)
+                    shipped = exc
+                except Exception:
+                    shipped = None
+                return (index, "errored",
+                        f"{type(exc).__name__}: {exc}",
+                        time.perf_counter() - started, attempts,
+                        tuple(retry_errors), shipped)
+    finally:
+        if alarmed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
 class ObligationScheduler:
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  telemetry: Optional[Telemetry] = None,
                  timeout_seconds: Optional[float] = None,
                  retries: int = 0,
-                 on_error: str = "raise"):
+                 on_error: str = "raise",
+                 backend: str = "thread"):
         self.jobs = max(1, jobs if jobs is not None else
                         (os.cpu_count() or 1))
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, "
+                             f"got {backend!r}")
+        self.backend = backend
         #: ``cache=None`` selects the process default; ``cache=False``
         #: disables caching outright.
         if cache is None:
@@ -109,8 +200,11 @@ class ObligationScheduler:
         counterexample.
         """
         obligations = list(obligations)
-        if self.jobs == 1 or len(obligations) <= 1:
+        if self.backend == "serial" or self.jobs == 1 \
+                or len(obligations) <= 1:
             return self._run_serial(obligations, stop_on)
+        if self.backend == "process":
+            return self._run_process(obligations, stop_on)
         return self._run_parallel(obligations, stop_on)
 
     # -- serial path --------------------------------------------------------
@@ -200,6 +294,193 @@ class ObligationScheduler:
             # wait=False so an abandoned (timed-out) worker does not block
             # the collector; completed pools shut down immediately anyway.
             pool.shutdown(wait=not abandoned)
+        return outcomes  # type: ignore[return-value]
+
+    # -- process path -------------------------------------------------------
+
+    def _run_process(self, obligations, stop_on) -> List[ObligationOutcome]:
+        """Dispatcher over a ``ProcessPoolExecutor``.
+
+        Group chaining is enforced dispatcher-side: an obligation is only
+        submitted once its group predecessor has a terminal outcome, so
+        same-group work stays serial-in-order while distinct groups fan
+        out across worker processes.  Cache lookups happen in the parent
+        immediately before dispatch (a hit never ships to a worker) and
+        results are cached in the parent on receipt, so caching semantics
+        match the serial and thread backends exactly.
+
+        The hard per-obligation timeout is enforced worker-side by
+        ``SIGALRM`` (see :func:`_process_worker`); the parent keeps a
+        slack fallback deadline per future so even a worker that fails to
+        honor the alarm (or dies) cannot wedge the collector.
+        """
+        n = len(obligations)
+        successors: Dict[int, List[int]] = {}
+        predecessor: List[Optional[int]] = [None] * n
+        last_in_group: Dict[str, int] = {}
+        for i, ob in enumerate(obligations):
+            if ob.group is not None:
+                if ob.group in last_in_group:
+                    predecessor[i] = last_in_group[ob.group]
+                    successors.setdefault(last_in_group[ob.group],
+                                          []).append(i)
+                last_in_group[ob.group] = i
+
+        for ob in obligations:
+            self.telemetry.record(ev.SUBMITTED, ob.kind, ob.label)
+
+        # A worker that ignores its alarm (or a timeout with no SIGALRM
+        # support) is abandoned once this much slack has passed.
+        fallback = None
+        if self.timeout_seconds is not None:
+            fallback = self.timeout_seconds * 1.5 + 5.0
+
+        outcomes: List[Optional[ObligationOutcome]] = [None] * n
+        ready = deque(i for i in range(n) if predecessor[i] is None)
+        in_flight: Dict[object, int] = {}     # Future -> index
+        deadlines: Dict[object, float] = {}   # Future -> abandon time
+        finished = 0
+        stopped = False
+        abandoned = False
+        raise_exc = None
+
+        def finalize(index: int, outcome: ObligationOutcome):
+            nonlocal finished, stopped, raise_exc
+            outcomes[index] = outcome
+            finished += 1
+            ready.extend(successors.get(index, ()))
+            if outcome.status == ERRORED and self.on_error == "raise" \
+                    and raise_exc is None:
+                raise_exc = getattr(
+                    outcome, "_exception",
+                    RuntimeError(outcome.error or "obligation errored"))
+            if stop_on is not None and not stopped and stop_on(outcome):
+                stopped = True
+
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            while finished < n:
+                while ready and not stopped and raise_exc is None:
+                    i = ready.popleft()
+                    ob = obligations[i]
+                    keyed = ob.cache_key is not None \
+                        and self.cache is not None
+                    if keyed:
+                        t0 = time.perf_counter()
+                        hit, value = self.cache.get(ob.cache_key,
+                                                    decode=ob.decode)
+                        if hit:
+                            wall = time.perf_counter() - t0
+                            self.telemetry.record(ev.CACHED, ob.kind,
+                                                  ob.label, wall=wall)
+                            finalize(i, ObligationOutcome(
+                                obligation=ob, status=CACHED, value=value,
+                                wall_seconds=wall))
+                            continue
+                    if ob.payload is None:
+                        # No declarative spec: run on the parent (serial
+                        # semantics; _execute records its own telemetry).
+                        finalize(i, self._execute(ob))
+                        continue
+                    self.telemetry.record(ev.STARTED, ob.kind, ob.label)
+                    future = pool.submit(_process_worker, i, ob.payload,
+                                         self.retries,
+                                         self.timeout_seconds)
+                    in_flight[future] = i
+                    if fallback is not None:
+                        deadlines[future] = time.perf_counter() + fallback
+                if finished >= n or raise_exc is not None:
+                    break
+                if not in_flight:
+                    break   # stopped/blocked: the tail is skipped below
+                wait_for = None
+                if deadlines:
+                    wait_for = max(0.0, min(deadlines.values())
+                                   - time.perf_counter())
+                done, _ = _fut_wait(set(in_flight), timeout=wait_for,
+                                    return_when=FIRST_COMPLETED)
+                now = time.perf_counter()
+                for future in list(in_flight):
+                    if future in done:
+                        continue
+                    if deadlines.get(future, now + 1) <= now:
+                        # Fallback: the worker ignored its alarm or died
+                        # silently; abandon the future like the thread
+                        # backend abandons an overrun thread.
+                        i = in_flight.pop(future)
+                        deadlines.pop(future, None)
+                        abandoned = True
+                        ob = obligations[i]
+                        self.telemetry.record(
+                            ev.TIMED_OUT, ob.kind, ob.label,
+                            wall=self.timeout_seconds or 0.0)
+                        finalize(i, ObligationOutcome(
+                            obligation=ob, status=TIMED_OUT,
+                            wall_seconds=self.timeout_seconds or 0.0,
+                            error=f"no result within "
+                                  f"{self.timeout_seconds}s (worker "
+                                  f"unresponsive)"))
+                for future in done:
+                    i = in_flight.pop(future)
+                    deadlines.pop(future, None)
+                    ob = obligations[i]
+                    keyed = ob.cache_key is not None \
+                        and self.cache is not None
+                    try:
+                        (_, status, wire, wall, attempts, retry_errors,
+                         exc_obj) = future.result()
+                    except Exception as exc:   # crash / unpicklable result
+                        self.telemetry.record(ev.ERRORED, ob.kind,
+                                              ob.label, detail=str(exc))
+                        outcome = ObligationOutcome(
+                            obligation=ob, status=ERRORED,
+                            error=f"{type(exc).__name__}: {exc}")
+                        outcome._exception = exc   # type: ignore[attr-defined]
+                        finalize(i, outcome)
+                        continue
+                    for message in retry_errors:
+                        self.telemetry.record(ev.RETRIED, ob.kind,
+                                              ob.label, detail=message)
+                    if status == "ok":
+                        value = ob.decode(wire) if ob.decode is not None \
+                            else ob.payload.decode_result(wire)
+                        self.telemetry.record(
+                            ev.FINISHED, ob.kind, ob.label, wall=wall,
+                            detail="keyed" if keyed else "")
+                        if keyed:
+                            self.cache.put(ob.cache_key, value,
+                                           encode=ob.encode)
+                        finalize(i, ObligationOutcome(
+                            obligation=ob, status=OK, value=value,
+                            wall_seconds=wall, attempts=attempts))
+                    elif status == "timed_out":
+                        self.telemetry.record(ev.TIMED_OUT, ob.kind,
+                                              ob.label, wall=wall)
+                        finalize(i, ObligationOutcome(
+                            obligation=ob, status=TIMED_OUT,
+                            wall_seconds=wall, attempts=attempts,
+                            error=f"hard timeout after "
+                                  f"{self.timeout_seconds}s"))
+                    else:
+                        self.telemetry.record(ev.ERRORED, ob.kind,
+                                              ob.label, wall=wall,
+                                              detail=str(wire))
+                        outcome = ObligationOutcome(
+                            obligation=ob, status=ERRORED,
+                            wall_seconds=wall, attempts=attempts,
+                            error=str(wire))
+                        outcome._exception = exc_obj if exc_obj is not None \
+                            else RuntimeError(str(wire))   # type: ignore[attr-defined]
+                        finalize(i, outcome)
+            for i in range(n):
+                if outcomes[i] is None:
+                    outcomes[i] = self._skip(obligations[i])
+            if raise_exc is not None:
+                raise raise_exc
+        finally:
+            # cancel_futures drops queued work; wait unless an abandoned
+            # (unresponsive) worker would block shutdown indefinitely.
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
         return outcomes  # type: ignore[return-value]
 
     # -- one obligation -----------------------------------------------------

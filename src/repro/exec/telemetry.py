@@ -193,15 +193,21 @@ class Telemetry:
     def summary(self) -> str:
         return self.stats().summary()
 
-    def to_json(self) -> dict:
-        return {
+    def to_json(self, context: Optional[dict] = None) -> dict:
+        """``context`` records run-level metadata alongside the log --
+        the harness stores the execution configuration (backend, jobs,
+        timeout) here so a telemetry dump is self-describing."""
+        out = {
             "stats": self.stats().to_json(),
             "events": [ev.to_json() for ev in self.events()],
         }
+        if context:
+            out["context"] = dict(context)
+        return out
 
-    def dump_json(self, path) -> None:
+    def dump_json(self, path, context: Optional[dict] = None) -> None:
         from pathlib import Path
-        Path(path).write_text(json.dumps(self.to_json(), indent=2))
+        Path(path).write_text(json.dumps(self.to_json(context), indent=2))
 
 
 _DEFAULT = Telemetry()

@@ -1,7 +1,10 @@
 """Experiment runner: regenerates every table and figure of the paper's
 evaluation and writes a combined report (used to produce EXPERIMENTS.md).
 
-Run as ``python -m repro.harness.runner [--quick] [--jobs N]``.
+Run as ``python -m repro.harness.runner [--quick] [--jobs N]
+[--backend {serial,thread,process}] [--timeout S]``.  The flags map onto
+one :class:`~repro.exec.ExecConfig` driving the proof legs; the execution
+configuration is recorded in ``results/telemetry.json``.
 """
 
 from __future__ import annotations
@@ -10,8 +13,9 @@ import json
 import sys
 import time
 from pathlib import Path
+from typing import Optional
 
-from ..exec import default_telemetry
+from ..exec import BACKENDS, ExecConfig, default_telemetry
 from .figures import figure2, render_figure2
 from .tables import (
     defect_tables, implementation_proof_stats, implication_proof_stats,
@@ -21,7 +25,12 @@ from .tables import (
 __all__ = ["run_all", "main"]
 
 
-def run_all(upto: int = 14, quick: bool = False, jobs: int = 1) -> str:
+def run_all(upto: int = 14, quick: bool = False, jobs: int = 1,
+            backend: str = "thread",
+            timeout: Optional[float] = None,
+            exec: Optional[ExecConfig] = None) -> str:
+    config = exec if exec is not None else \
+        ExecConfig(jobs=jobs, backend=backend, timeout_seconds=timeout)
     sections = []
     started = time.time()
 
@@ -37,7 +46,7 @@ def run_all(upto: int = 14, quick: bool = False, jobs: int = 1) -> str:
     sections.append("```")
 
     sections.append("## Implementation proof (paper 6.2.3)")
-    impl = implementation_proof_stats(jobs=jobs)
+    impl = implementation_proof_stats(exec=config)
     auto_sps = impl.fully_automatic_subprograms()
     total_sps = len({o.vc.subprogram for o in impl.outcomes})
     sections.append("```")
@@ -53,7 +62,7 @@ def run_all(upto: int = 14, quick: bool = False, jobs: int = 1) -> str:
     sections.append("```")
 
     sections.append("## Implication proof (paper 6.2.4)")
-    imp = implication_proof_stats(jobs=jobs)
+    imp = implication_proof_stats(exec=config)
     res = imp.result
     sections.append("```")
     sections.append(
@@ -91,13 +100,18 @@ def run_all(upto: int = 14, quick: bool = False, jobs: int = 1) -> str:
     return "\n\n".join(sections)
 
 
-def _parse_jobs(argv) -> int:
+def _flag_value(argv, flag: str) -> Optional[str]:
     raw = None
     for i, arg in enumerate(argv):
-        if arg == "--jobs" and i + 1 < len(argv):
+        if arg == flag and i + 1 < len(argv):
             raw = argv[i + 1]
-        elif arg.startswith("--jobs="):
+        elif arg.startswith(flag + "="):
             raw = arg.split("=", 1)[1]
+    return raw
+
+
+def _parse_jobs(argv) -> int:
+    raw = _flag_value(argv, "--jobs")
     if raw is None:
         return 1
     try:
@@ -106,11 +120,36 @@ def _parse_jobs(argv) -> int:
         raise SystemExit(f"error: --jobs expects an integer, got {raw!r}")
 
 
+def _parse_backend(argv) -> str:
+    raw = _flag_value(argv, "--backend")
+    if raw is None:
+        return "thread"
+    if raw not in BACKENDS:
+        raise SystemExit(f"error: --backend expects one of "
+                         f"{'/'.join(BACKENDS)}, got {raw!r}")
+    return raw
+
+
+def _parse_timeout(argv) -> Optional[float]:
+    raw = _flag_value(argv, "--timeout")
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise SystemExit(f"error: --timeout expects seconds, got {raw!r}")
+    if value <= 0:
+        raise SystemExit(f"error: --timeout must be positive, got {raw!r}")
+    return value
+
+
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     quick = "--quick" in argv
-    jobs = _parse_jobs(argv)
-    report = run_all(quick=quick, jobs=jobs)
+    config = ExecConfig(jobs=_parse_jobs(argv),
+                        backend=_parse_backend(argv),
+                        timeout_seconds=_parse_timeout(argv))
+    report = run_all(quick=quick, exec=config)
     print(report)
     out = Path("results")
     out.mkdir(exist_ok=True)
@@ -118,7 +157,13 @@ def main(argv=None) -> int:
     measurements = figure2()
     (out / "figure2.json").write_text(json.dumps(
         [m.__dict__ for m in measurements], indent=2, default=str))
-    default_telemetry().dump_json(out / "telemetry.json")
+    default_telemetry().dump_json(out / "telemetry.json", context={
+        "backend": config.backend,
+        "jobs": config.jobs,
+        "timeout_seconds": config.timeout_seconds,
+        "retries": config.retries,
+        "on_error": config.on_error,
+    })
     return 0
 
 

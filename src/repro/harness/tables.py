@@ -12,6 +12,7 @@ from ..aes.annotations import annotated_package
 from ..aes.fips197 import fips197_theory
 from ..aes.proof_scripts import aes_proof_scripts
 from ..defects import run_experiment, stage_table
+from ..exec.config import UNSET, ExecConfig, coerce_exec_config
 from ..extract import extract_specification
 from ..implication import ImplicationResult, prove_implication
 from ..lang import AnnotationCounts, count_annotations
@@ -43,13 +44,18 @@ def render_table1(counts: AnnotationCounts) -> str:
 
 
 @lru_cache(maxsize=None)
-def implementation_proof_stats(jobs: int = 1) -> ImplementationProofResult:
+def implementation_proof_stats(exec: Optional[ExecConfig] = None,
+                               jobs=UNSET) -> ImplementationProofResult:
     """The full implementation proof over the annotated refactored AES
-    (section 6.2.3's 306 VCs / 86.6% / 15-of-25 figures).  ``jobs`` fans
-    VC discharge out over the obligation scheduler's thread pool."""
+    (section 6.2.3's 306 VCs / 86.6% / 15-of-25 figures).  ``exec``
+    configures the obligation scheduler (``ExecConfig`` is hashable, so
+    identical configurations share the memoized run); the bare ``jobs``
+    keyword is a deprecated shim."""
+    config = coerce_exec_config(exec, owner="implementation_proof_stats",
+                                jobs=jobs)
     typed = annotated_package()
     proof = ImplementationProof(typed, scripts=aes_proof_scripts(),
-                                jobs=jobs)
+                                exec=config)
     return proof.run()
 
 
@@ -63,14 +69,19 @@ class ImplicationStats:
 
 
 @lru_cache(maxsize=None)
-def implication_proof_stats(jobs: int = 1) -> ImplicationStats:
-    """Section 6.2.4: extracted-spec size, TCC accounting, lemma count."""
+def implication_proof_stats(exec: Optional[ExecConfig] = None,
+                            jobs=UNSET) -> ImplicationStats:
+    """Section 6.2.4: extracted-spec size, TCC accounting, lemma count.
+    ``exec`` configures the obligation scheduler; ``jobs`` is a
+    deprecated shim for it."""
+    config = coerce_exec_config(exec, owner="implication_proof_stats",
+                                jobs=jobs)
     typed = annotated_package()
     extraction = extract_specification(typed)
     check = check_theory(extraction.theory)
     tcc_report = discharge_tccs(extraction.theory, check.tccs)
     result = prove_implication(fips197_theory(), extraction.theory,
-                               jobs=jobs)
+                               exec=config)
     return ImplicationStats(
         extracted_lines=spec_line_count(extraction.theory),
         extracted_tccs_total=tcc_report.total,

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..exec.config import UNSET, coerce_exec_config
 from ..extract.mapper import ArchitecturalMap, build_map
 from ..extract.matchratio import MatchRatio, match_ratio
 from ..prover import AutoProver
@@ -76,25 +77,31 @@ class ImplicationResult:
 
 def prove_implication(original: s.Theory, extracted: s.Theory,
                       seed: int = 20090701,
-                      jobs: int = 1,
-                      cache=None,
-                      telemetry=None) -> ImplicationResult:
+                      exec=None,
+                      jobs=UNSET,
+                      cache=UNSET,
+                      telemetry=UNSET) -> ImplicationResult:
     """Prove the implication theorem.
 
     Lemma discharge runs through the obligation scheduler
     (:mod:`repro.exec`): one ``lemma`` obligation per architectural-map
-    element.  ``jobs=1`` runs them inline in the historical order with
-    the shared evaluator pair (bit-identical to the pre-scheduler path);
-    ``jobs>1`` fans lemmas out across a thread pool with one evaluator
-    pair per worker thread (``SpecEvaluator`` carries a mutable memo and
-    step budget, so instances are not shared across threads).  Results
-    are cached content-addressed on (theory texts, lemma identity, seed).
+    element.  ``exec`` is the :class:`~repro.exec.ExecConfig` for the
+    run; the bare ``jobs``/``cache``/``telemetry`` keywords are
+    deprecated shims for it.  The serial path runs lemmas inline in the
+    historical order with the shared evaluator pair (bit-identical to
+    the pre-scheduler path); a thread pool uses one evaluator pair per
+    worker thread (``SpecEvaluator`` carries a mutable memo and step
+    budget, so instances are not shared across threads); worker
+    processes rebuild the whole theory context from a declarative
+    :class:`~repro.exec.LemmaPayload`.  Results are cached
+    content-addressed on (theory texts, lemma identity, seed).
     """
     import threading
 
-    from ..exec import (
-        ObligationScheduler, lemma_obligation, theory_fingerprint,
-    )
+    from ..exec import LemmaPayload, lemma_obligation, theory_fingerprint
+
+    config = coerce_exec_config(exec, owner="prove_implication",
+                                jobs=jobs, cache=cache, telemetry=telemetry)
 
     started = time.perf_counter()
     amap = build_map(original, extracted)
@@ -106,7 +113,7 @@ def prove_implication(original: s.Theory, extracted: s.Theory,
     tls = threading.local()
 
     def evaluators():
-        if jobs == 1:
+        if config.effective_serial:
             return orig_eval, ext_eval
         pair = getattr(tls, "pair", None)
         if pair is None:
@@ -127,12 +134,16 @@ def prove_implication(original: s.Theory, extracted: s.Theory,
     obligations = [
         lemma_obligation(lemma, discharger(lemma),
                          original_fp=original_fp, extracted_fp=extracted_fp,
-                         seed=seed)
+                         seed=seed,
+                         payload=LemmaPayload(
+                             original=original, extracted=extracted,
+                             original_fp=original_fp,
+                             extracted_fp=extracted_fp,
+                             lemma_name=lemma.name, seed=seed))
         for lemma in lemmas
     ]
-    scheduler = ObligationScheduler(jobs=jobs, cache=cache,
-                                    telemetry=telemetry)
-    outcomes = [result.value for result in scheduler.run(obligations)]
+    outcomes = [result.value
+                for result in config.scheduler().run(obligations)]
 
     # Implication-theorem TCCs, discharged automatically with subsumption
     # accounting (duplicates across byte-typed signatures).

@@ -18,6 +18,9 @@ from .rules import decide_relation, default_rules, interval_of, rule_families
 from .substitute import rebuild_smart, substitute, substitute_simplifying
 from .terms import Term, mk, term_table
 from .traversal import postorder_missing, run_trampoline
+from .wire import (
+    WireFormatError, decode_term, decode_terms, encode_term, encode_terms,
+)
 
 __all__ = [
     "Term", "mk", "term_table",
@@ -31,4 +34,6 @@ __all__ = [
     "default_rules", "rule_families", "interval_of", "decide_relation",
     "substitute", "substitute_simplifying", "rebuild_smart",
     "run_trampoline", "postorder_missing",
+    "encode_term", "decode_term", "encode_terms", "decode_terms",
+    "WireFormatError",
 ]

@@ -62,6 +62,11 @@ class Term:
 
     Do not instantiate directly: use :func:`mk` or the smart constructors in
     :mod:`repro.logic.builders`, which route through the interning table.
+
+    Pickling routes through the structural wire format of
+    :mod:`repro.logic.wire` (which installs ``__reduce__`` on import), so
+    an unpickled term is re-interned in the receiving process and identity
+    semantics survive the process boundary.
     """
 
     __slots__ = ("op", "args", "value", "_id", "__weakref__")

@@ -1,0 +1,142 @@
+"""Pickle-safe wire format for hash-consed terms.
+
+Terms carry identity semantics (``__eq__ is is``, see
+:mod:`repro.logic.terms`): structural equality *is* object identity
+because every term routes through the process-global interning table.
+That invariant is exactly what naive pickling would destroy -- the
+default reducer would materialize a fresh, non-interned ``Term`` in the
+receiving process, and every identity-based algorithm downstream
+(hash-consed equality, DAG memo tables keyed by ``_id``, the rewriter's
+caches) would silently misbehave.
+
+This module makes terms safe to ship between processes:
+
+``encode_term``     flatten the DAG into a *structural encoding* -- a
+                    postorder tuple of ``(op, child-indices, value)``
+                    nodes, each distinct subterm appearing exactly once.
+                    Pure picklable primitives (strings, ints, tuples),
+                    no ``Term`` objects.  Linear in DAG size, so a term
+                    whose tree form is gigabytes still ships compactly.
+
+``decode_term``     rebuild bottom-up through :func:`repro.logic.terms.mk`,
+                    i.e. through the receiving process's interning table.
+                    Children are interned before parents, so every node
+                    lands on *the* unique term for its structure: decoding
+                    in the sending process returns the original object
+                    (``decode(encode(t)) is t``), and decoding in another
+                    process restores full hash-consing identity there.
+
+Importing this module also registers the reducer on ``Term`` itself, so
+``pickle.dumps(term)`` -- and therefore shipping obligation payloads that
+contain terms to :mod:`repro.exec` process-pool workers -- transparently
+round-trips through the structural encoding.
+
+Stability: the encoding preserves the exact argument order of every node
+(unlike :func:`repro.logic.canon.fingerprint`, which sorts commutative
+arguments at hash time), so the decoded term is structurally identical to
+the source term and all canonical digests agree across the process
+boundary: ``fingerprint(decode(encode(t))) == fingerprint(t)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .terms import Term, mk
+
+__all__ = ["WIRE_MAGIC", "WireFormatError",
+           "encode_term", "decode_term", "encode_terms", "decode_terms"]
+
+#: Leading tag of every wire value; bump the version on layout changes so
+#: a stale on-disk or cross-version payload fails loudly instead of
+#: decoding garbage.
+WIRE_MAGIC = "repro-term-wire/1"
+
+
+class WireFormatError(ValueError):
+    """The wire value is not a valid term encoding."""
+
+
+def _flatten(roots: Sequence[Term]) -> Tuple[tuple, Tuple[int, ...]]:
+    """Postorder node list over the union DAG of ``roots`` plus the index
+    of each root within it.  Shared subterms (within one term or across
+    roots) are emitted once."""
+    index = {}
+    nodes: List[tuple] = []
+    for root in roots:
+        if root._id in index:
+            continue
+        for node in root.iter_dag():
+            if node._id in index:
+                continue
+            children = tuple(index[a._id] for a in node.args)
+            index[node._id] = len(nodes)
+            nodes.append((node.op, children, node.value))
+    return tuple(nodes), tuple(index[r._id] for r in roots)
+
+
+def encode_terms(roots: Sequence[Term]) -> tuple:
+    """Encode several terms into one wire value with shared structure."""
+    for root in roots:
+        if not isinstance(root, Term):
+            raise TypeError(f"expected Term, got {type(root).__name__}")
+    nodes, root_indices = _flatten(list(roots))
+    return (WIRE_MAGIC, nodes, root_indices)
+
+
+def encode_term(term: Term) -> tuple:
+    """Encode one term; see the module docstring for the format."""
+    return encode_terms((term,))
+
+
+def decode_terms(wire) -> List[Term]:
+    """Decode a wire value back into interned terms (one per root)."""
+    try:
+        magic, nodes, root_indices = wire
+    except (TypeError, ValueError):
+        raise WireFormatError(f"not a term wire value: {wire!r}")
+    if magic != WIRE_MAGIC:
+        raise WireFormatError(f"unknown wire format tag {magic!r}")
+    terms: List[Term] = []
+    for node in nodes:
+        try:
+            op, children, value = node
+        except (TypeError, ValueError):
+            raise WireFormatError(f"malformed wire node: {node!r}")
+        if not isinstance(op, str):
+            raise WireFormatError(f"wire node op must be str, got {op!r}")
+        try:
+            args = tuple(terms[i] for i in children)
+        except (IndexError, TypeError):
+            # Postorder guarantees children precede parents; anything else
+            # is a corrupt or hand-forged payload.
+            raise WireFormatError(
+                f"wire node references undecoded child: {node!r}")
+        if isinstance(value, list):   # JSON transports tuples as lists
+            value = tuple(value)
+        terms.append(mk(op, args, value))
+    try:
+        return [terms[i] for i in root_indices]
+    except (IndexError, TypeError):
+        raise WireFormatError(f"bad wire root indices: {root_indices!r}")
+
+
+def decode_term(wire) -> Term:
+    roots = decode_terms(wire)
+    if len(roots) != 1:
+        raise WireFormatError(
+            f"expected a single-root wire value, got {len(roots)} roots")
+    return roots[0]
+
+
+def _term_reduce(self: Term):
+    return (decode_term, (encode_term(self),))
+
+
+# Make ``pickle`` route Term through the structural encoding.  Without
+# this, protocol-2+ pickling of a __slots__ instance would rebuild a raw,
+# non-interned Term and break identity semantics in the receiving
+# process; with it, unpickling re-interns (pickle imports this module to
+# resolve ``decode_term``, so registration also holds in any process that
+# only ever *receives* terms).
+Term.__reduce__ = _term_reduce

@@ -15,7 +15,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..exec import ObligationScheduler, package_fingerprint, vc_obligation
+from ..exec import VCPayload, package_fingerprint, vc_obligation
+from ..exec.config import UNSET, ExecConfig, coerce_exec_config
 from ..lang.typecheck import TypedPackage
 from ..vcgen import Examiner, ExaminerLimits, ExaminerReport, VCRecord
 from .auto import AutoProver, ProofResult
@@ -100,7 +101,10 @@ class ImplementationProof:
     state (memo caches, fresh-name counters) sees its VCs serially and in
     order even when ``jobs > 1`` -- ``jobs=1`` therefore reproduces the
     historical serial run bit for bit, and ``jobs=N`` fans subprograms
-    out across a thread pool.  Results are cached content-addressed on
+    out across a thread pool (``backend='thread'``) or across worker
+    processes (``backend='process'``: each obligation also carries a
+    :class:`~repro.exec.payload.VCPayload` naming the same discharge
+    declaratively).  Results are cached content-addressed on
     (package text, subprogram, VC term, prover configuration), so
     re-verifying unchanged code is a replay, not a re-proof.
     """
@@ -114,23 +118,23 @@ class ImplementationProof:
     def __init__(self, typed: TypedPackage,
                  limits: Optional[ExaminerLimits] = None,
                  scripts: Optional[Dict[str, Sequence[ProofScript]]] = None,
-                 jobs: int = 1,
-                 cache=None,
-                 telemetry=None,
-                 obligation_timeout: Optional[float] = None):
+                 exec: Optional[ExecConfig] = None,
+                 jobs=UNSET,
+                 cache=UNSET,
+                 telemetry=UNSET,
+                 obligation_timeout=UNSET):
         """``scripts`` maps a subprogram name to the proof scripts to try,
-        in order, on each of its undischarged VCs.  ``jobs``/``cache``/
-        ``telemetry`` configure the obligation scheduler (``cache=None``
-        selects the process-default result cache, ``cache=False`` disables
-        caching); ``obligation_timeout`` bounds the wall time the parallel
-        scheduler waits per VC, mapping overruns to ``undischarged``."""
+        in order, on each of its undischarged VCs.  ``exec`` configures the
+        obligation scheduler (backend, jobs, cache, telemetry, per-VC
+        timeout -- overruns map to ``undischarged``); the bare
+        ``jobs``/``cache``/``telemetry``/``obligation_timeout`` keywords
+        are deprecated shims for it."""
         self.typed = typed
         self.limits = limits
         self.scripts = scripts or {}
-        self.jobs = jobs
-        self.cache = cache
-        self.telemetry = telemetry
-        self.obligation_timeout = obligation_timeout
+        self.exec = coerce_exec_config(
+            exec, owner="ImplementationProof", jobs=jobs, cache=cache,
+            telemetry=telemetry, timeout_seconds=obligation_timeout)
         #: Guards lazy per-subprogram prover construction across scheduler
         #: worker threads.  One lock per proof session: every discharge
         #: thunk synchronizes on this same instance (a per-call fallback
@@ -161,15 +165,19 @@ class ImplementationProof:
                     continue
                 discharge = self._discharger(vc, auto_provers,
                                              interactive_provers)
+                payload = VCPayload(
+                    package=self.typed.package, package_fp=package_fp,
+                    subprogram=vc.subprogram,
+                    term=vc.simplified.simplified,
+                    scripts=tuple(self.scripts.get(vc.subprogram, ())),
+                    auto_timeout=self.AUTO_TIMEOUT_SECONDS)
                 obligations.append(vc_obligation(
-                    vc, discharge, package_fp=package_fp, config=config))
+                    vc, discharge, package_fp=package_fp, config=config,
+                    payload=payload))
                 vc_records.append(vc)
                 slots.append(("ob", len(obligations) - 1))
 
-        scheduler = ObligationScheduler(
-            jobs=self.jobs, cache=self.cache, telemetry=self.telemetry,
-            timeout_seconds=self.obligation_timeout)
-        results = scheduler.run(obligations)
+        results = self.exec.scheduler().run(obligations)
 
         outcomes: List[VCOutcome] = []
         for tag, payload in slots:

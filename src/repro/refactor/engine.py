@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..equiv import EquivalenceTheorem, prove_equivalence
+from ..exec.config import UNSET, ExecConfig, coerce_exec_config
 from ..lang import TypedPackage, analyze, ast
 from ..lang.errors import TypeError_
 
@@ -157,9 +158,10 @@ class RefactoringEngine:
                  trials: int = 24,
                  seed: int = 20090701,
                  samplers: Optional[dict] = None,
-                 jobs: int = 1,
-                 cache=None,
-                 telemetry=None):
+                 exec: Optional[ExecConfig] = None,
+                 jobs=UNSET,
+                 cache=UNSET,
+                 telemetry=UNSET):
         self.typed = analyze(package)
         self.observables = list(observables)
         self.check = check
@@ -169,11 +171,13 @@ class RefactoringEngine:
         #: theorem to the meaningful input domain (documented precondition).
         self.samplers = samplers or {}
         self.history: List[Tuple[Application, ast.Package]] = []
-        #: obligation-scheduler knobs: differential trials fan out one
-        #: obligation per trial when ``jobs > 1`` (see ``_differential``).
-        self.jobs = jobs
-        self.cache = cache
-        self.telemetry = telemetry
+        #: obligation-scheduler configuration: differential trials fan out
+        #: one obligation per trial when ``jobs > 1`` (see
+        #: ``_differential``).  ``jobs``/``cache``/``telemetry`` are
+        #: deprecated shims for ``exec``.
+        self.exec = coerce_exec_config(
+            exec, owner="RefactoringEngine", jobs=jobs, cache=cache,
+            telemetry=telemetry)
 
     @property
     def package(self) -> ast.Package:
@@ -256,7 +260,7 @@ class RefactoringEngine:
 
         from ..equiv.differential import DifferentialResult, _compare
         from ..equiv.model import input_params, random_state
-        from ..exec import ObligationScheduler, equiv_trial_obligation, \
+        from ..exec import EquivTrialPayload, equiv_trial_obligation, \
             package_fingerprint
 
         sp_before = before.signatures[name]
@@ -276,12 +280,16 @@ class RefactoringEngine:
             equiv_trial_obligation(
                 i, name, state,
                 (lambda s=state: _compare(before, name, after, name, s)),
-                left_fp=left_fp, right_fp=right_fp)
+                left_fp=left_fp, right_fp=right_fp,
+                payload=EquivTrialPayload(
+                    left_package=before.package,
+                    right_package=after.package,
+                    left_fp=left_fp, right_fp=right_fp,
+                    left_name=name, right_name=name,
+                    initial=tuple(sorted(state.items()))))
             for i, state in enumerate(states)
         ]
-        scheduler = ObligationScheduler(jobs=self.jobs, cache=self.cache,
-                                        telemetry=self.telemetry)
-        results = scheduler.run(
+        results = self.exec.scheduler().run(
             obligations,
             stop_on=lambda outcome: outcome.ok and outcome.value is not None)
         for i, outcome in enumerate(results):

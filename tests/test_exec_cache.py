@@ -5,8 +5,8 @@ import pytest
 
 from repro.defects.curated import curated_defects
 from repro.exec import (
-    ObligationScheduler, Obligation, ResultCache, Telemetry, make_key,
-    package_fingerprint,
+    ExecConfig, ObligationScheduler, Obligation, ResultCache, Telemetry,
+    make_key, package_fingerprint,
 )
 from repro.lang import analyze, parse_package
 from repro.logic import add, canonical_text, fingerprint, intc, mk, var
@@ -89,10 +89,12 @@ class TestObligationCacheOnProofs:
         cache = ResultCache()
         t1, t2 = Telemetry(), Telemetry()
 
-        r1 = ImplementationProof(small_package(), cache=cache,
-                                 telemetry=t1).run()
-        r2 = ImplementationProof(small_package(), cache=cache,
-                                 telemetry=t2).run()
+        r1 = ImplementationProof(
+            small_package(),
+            exec=ExecConfig(cache=cache, telemetry=t1)).run()
+        r2 = ImplementationProof(
+            small_package(),
+            exec=ExecConfig(cache=cache, telemetry=t2)).run()
 
         s1, s2 = t1.stats(), t2.stats()
         assert s1.computed.get("vc", 0) > 0
@@ -129,12 +131,14 @@ class TestObligationCacheOnProofs:
         affected obligation keys change (cache misses, recompute)."""
         cache = ResultCache()
         t1, t2 = Telemetry(), Telemetry()
-        ImplementationProof(small_package(), cache=cache,
-                            telemetry=t1).run()
+        ImplementationProof(
+            small_package(),
+            exec=ExecConfig(cache=cache, telemetry=t1)).run()
         mutated = analyze(parse_package(
             SMALL_PKG_SRC.replace("B (I) := A (I) xor 255;",
                                   "B (I) := A (I) xor 254;")))
-        ImplementationProof(mutated, cache=cache, telemetry=t2).run()
+        ImplementationProof(
+            mutated, exec=ExecConfig(cache=cache, telemetry=t2)).run()
         s2 = t2.stats()
         # the package fingerprint feeds every key: nothing can hit.
         assert s2.cache_hits == 0
@@ -161,11 +165,13 @@ class TestDiskStore:
         disk directory) still discharges zero VC obligations."""
         t1, t2 = Telemetry(), Telemetry()
         ImplementationProof(
-            small_package(), cache=ResultCache(disk_dir=tmp_path),
-            telemetry=t1).run()
+            small_package(),
+            exec=ExecConfig(cache=ResultCache(disk_dir=tmp_path),
+                            telemetry=t1)).run()
         ImplementationProof(
-            small_package(), cache=ResultCache(disk_dir=tmp_path),
-            telemetry=t2).run()
+            small_package(),
+            exec=ExecConfig(cache=ResultCache(disk_dir=tmp_path),
+                            telemetry=t2)).run()
         assert t1.stats().computed.get("vc", 0) > 0
         assert t2.stats().computed.get("vc", 0) == 0
 

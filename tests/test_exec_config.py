@@ -1,0 +1,216 @@
+"""ExecConfig API tests: the unified ``exec=`` parameter, the deprecated
+``jobs=/cache=/telemetry=`` keyword shims (warn + behave identically),
+validation, and the stable top-level public surface."""
+
+import warnings
+
+import pytest
+
+from repro.exec import (
+    ExecConfig, ObligationScheduler, ResultCache, Telemetry,
+    coerce_exec_config,
+)
+from repro.exec.config import UNSET
+from repro.lang import analyze, parse_package
+from repro.prover import ImplementationProof
+from repro.spec import parse_theory
+
+from tests.test_core_harness import PROGRAM, SPEC
+from tests.test_exec_scheduler import SRC, outcome_key
+
+
+class TestExecConfig:
+    def test_defaults_match_historical_behaviour(self):
+        config = ExecConfig()
+        assert config.jobs == 1
+        assert config.backend == "thread"
+        assert config.cache is None
+        assert config.telemetry is None
+        assert config.timeout_seconds is None
+        assert config.retries == 0
+        assert config.on_error == "raise"
+        assert config.effective_serial
+
+    def test_scheduler_derivation(self):
+        telemetry = Telemetry()
+        scheduler = ExecConfig(jobs=3, backend="process", cache=False,
+                               telemetry=telemetry, timeout_seconds=2.0,
+                               retries=1, on_error="record").scheduler()
+        assert isinstance(scheduler, ObligationScheduler)
+        assert scheduler.jobs == 3
+        assert scheduler.backend == "process"
+        assert scheduler.cache is None            # cache=False disables
+        assert scheduler.telemetry is telemetry
+        assert scheduler.timeout_seconds == 2.0
+        assert scheduler.retries == 1
+        assert scheduler.on_error == "record"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExecConfig(backend="rocket")
+        with pytest.raises(ValueError, match="jobs"):
+            ExecConfig(jobs=0)
+        with pytest.raises(ValueError, match="on_error"):
+            ExecConfig(on_error="ignore")
+        with pytest.raises(ValueError, match="retries"):
+            ExecConfig(retries=-1)
+
+    def test_hashable_and_frozen(self):
+        config = ExecConfig(jobs=2)
+        assert hash(config) == hash(ExecConfig(jobs=2))
+        with pytest.raises(Exception):
+            config.jobs = 4
+
+    def test_with_telemetry(self):
+        telemetry = Telemetry()
+        config = ExecConfig(jobs=2).with_telemetry(telemetry)
+        assert config.telemetry is telemetry
+        assert config.jobs == 2
+
+
+class TestCoercion:
+    def test_no_arguments_is_default(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = coerce_exec_config(None, owner="t")
+        assert config == ExecConfig()
+
+    def test_explicit_exec_passes_through(self):
+        config = ExecConfig(jobs=5, backend="process")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert coerce_exec_config(config, owner="t") is config
+
+    def test_legacy_keywords_warn_and_map(self):
+        cache = ResultCache()
+        telemetry = Telemetry()
+        with pytest.warns(DeprecationWarning, match="t: .*deprecated"):
+            config = coerce_exec_config(None, owner="t", jobs=4,
+                                        cache=cache, telemetry=telemetry,
+                                        timeout_seconds=1.5)
+        assert config == ExecConfig(jobs=4, cache=cache,
+                                    telemetry=telemetry,
+                                    timeout_seconds=1.5)
+
+    def test_mixing_exec_and_legacy_is_an_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            coerce_exec_config(ExecConfig(), owner="t", jobs=4)
+
+    def test_non_config_exec_rejected(self):
+        with pytest.raises(TypeError, match="ExecConfig"):
+            coerce_exec_config(4, owner="t")
+
+
+class TestDeprecatedShims:
+    """Every entry point accepts the legacy triplet, warns, and produces
+    exactly the result its ``exec=`` equivalent produces."""
+
+    def test_implementation_proof_shim_identical(self):
+        typed = analyze(parse_package(SRC))
+        with pytest.warns(DeprecationWarning, match="ImplementationProof"):
+            legacy = ImplementationProof(typed, jobs=2, cache=False).run()
+        modern = ImplementationProof(
+            typed, exec=ExecConfig(jobs=2, cache=False)).run()
+        assert [outcome_key(o) for o in legacy.outcomes] == \
+               [outcome_key(o) for o in modern.outcomes]
+        assert legacy.auto_percent == modern.auto_percent
+
+    def test_obligation_timeout_shim(self):
+        typed = analyze(parse_package(SRC))
+        with pytest.warns(DeprecationWarning):
+            proof = ImplementationProof(typed, cache=False,
+                                        obligation_timeout=30.0)
+        assert proof.exec.timeout_seconds == 30.0
+
+    def test_prove_implication_shim_identical(self):
+        from repro.extract import extract_specification
+        from repro.implication import prove_implication
+
+        original = parse_theory(SPEC)
+        typed = analyze(parse_package(PROGRAM))
+        extracted = extract_specification(typed).theory
+
+        def key(res):
+            return ([(o.lemma.name, o.proved, o.evidence, o.detail)
+                     for o in res.outcomes],
+                    res.tcc_total, res.tcc_proved, res.tcc_unproved)
+
+        with pytest.warns(DeprecationWarning, match="prove_implication"):
+            legacy = prove_implication(original, extracted,
+                                       jobs=2, cache=False)
+        modern = prove_implication(original, extracted,
+                                   exec=ExecConfig(jobs=2, cache=False))
+        assert key(legacy) == key(modern)
+
+    def test_refactoring_engine_shim(self):
+        from repro.refactor import RefactoringEngine
+
+        with pytest.warns(DeprecationWarning, match="RefactoringEngine"):
+            engine = RefactoringEngine(parse_package(PROGRAM),
+                                       observables=["Bump"],
+                                       check="differential", jobs=2,
+                                       cache=False)
+        assert engine.exec.jobs == 2
+        assert engine.exec.cache is False
+
+    def test_echo_verifier_shim_identical_results(self):
+        """The headline migration contract: the legacy triplet and the
+        ExecConfig path produce identical EchoResults end to end."""
+        from repro.core import EchoVerifier
+        from repro.refactor import RerollLoop
+
+        def run(**kw):
+            verifier = EchoVerifier(parse_package(PROGRAM),
+                                    parse_theory(SPEC),
+                                    observables=["Bump"], **kw)
+            verifier.refactor([RerollLoop(subprogram="Bump", start=0,
+                                          group_size=1, count=4, var="I")])
+            return verifier.verify()
+
+        with pytest.warns(DeprecationWarning, match="EchoVerifier"):
+            legacy = run(jobs=2, cache=False)
+        modern = run(exec=ExecConfig(jobs=2, cache=False))
+
+        assert legacy.verified == modern.verified
+        assert legacy.match.percent == modern.match.percent
+        assert [(o.vc.name, o.stage) for o in
+                legacy.implementation.outcomes] == \
+               [(o.vc.name, o.stage) for o in
+                modern.implementation.outcomes]
+        assert legacy.implication.holds == modern.implication.holds
+        assert legacy.summary() == modern.summary()
+
+    def test_verify_aes_signature_has_exec(self):
+        """verify_aes exposes exec= plus the deprecated shims (running it
+        is minutes; the full run is exercised by the benchmarks)."""
+        import inspect
+
+        from repro.core import verify_aes
+
+        parameters = inspect.signature(verify_aes).parameters
+        assert "exec" in parameters
+        for name in ("jobs", "cache", "telemetry"):
+            assert parameters[name].default is UNSET
+
+    def test_no_warning_on_modern_path(self):
+        typed = analyze(parse_package(SRC))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ImplementationProof(
+                typed, exec=ExecConfig(jobs=2, cache=False)).run()
+
+
+class TestPublicSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in ("EchoVerifier", "verify_aes", "ExecConfig",
+                     "ResultCache", "Telemetry", "EchoResult"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_imports(self):
+        from repro import (     # noqa: F401
+            EchoResult, EchoVerifier, ExecConfig, ResultCache, Telemetry,
+            verify_aes,
+        )

@@ -7,7 +7,8 @@ import time
 import pytest
 
 from repro.exec import (
-    Obligation, ObligationScheduler, ResultCache, Telemetry, make_key,
+    ExecConfig, Obligation, ObligationScheduler, ResultCache, Telemetry,
+    make_key,
 )
 from repro.lang import analyze, parse_package
 from repro.prover import AutoProver, ImplementationProof
@@ -50,8 +51,10 @@ def outcome_key(o):
 class TestSerialParallelEquivalence:
     def test_same_outcomes(self):
         typed = analyze(parse_package(SRC))
-        serial = ImplementationProof(typed, jobs=1, cache=False).run()
-        parallel = ImplementationProof(typed, jobs=4, cache=False).run()
+        serial = ImplementationProof(
+            typed, exec=ExecConfig(jobs=1, cache=False)).run()
+        parallel = ImplementationProof(
+            typed, exec=ExecConfig(jobs=4, cache=False)).run()
         assert [outcome_key(o) for o in serial.outcomes] == \
                [outcome_key(o) for o in parallel.outcomes]
         assert serial.total_vcs == parallel.total_vcs
@@ -60,9 +63,10 @@ class TestSerialParallelEquivalence:
     def test_parallel_uses_scheduler_threads(self):
         typed = analyze(parse_package(SRC))
         t = Telemetry()
-        serial = ImplementationProof(typed, jobs=1, cache=False).run()
-        parallel = ImplementationProof(typed, jobs=4, cache=False,
-                                       telemetry=t).run()
+        serial = ImplementationProof(
+            typed, exec=ExecConfig(jobs=1, cache=False)).run()
+        parallel = ImplementationProof(
+            typed, exec=ExecConfig(jobs=4, cache=False, telemetry=t)).run()
         assert [outcome_key(o) for o in parallel.outcomes] == \
                [outcome_key(o) for o in serial.outcomes]
         stats = t.stats()
@@ -176,8 +180,9 @@ class TestProofTimeout:
 
         monkeypatch.setattr(AutoProver, "prove", slow_prove)
         typed = analyze(parse_package(SRC))
-        result = ImplementationProof(typed, jobs=2, cache=False,
-                                     obligation_timeout=0.1).run()
+        result = ImplementationProof(
+            typed, exec=ExecConfig(jobs=2, cache=False,
+                                   timeout_seconds=0.1)).run()
         assert result.undischarged           # timeouts, not exceptions
         assert all(o.stage == "undischarged" for o in result.undischarged)
         assert not result.all_proved

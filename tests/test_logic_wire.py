@@ -1,0 +1,133 @@
+"""Term wire-format tests: structural round-trips that restore interning
+identity, pickle integration, fingerprint stability across process
+boundaries, and malformed-wire rejection."""
+
+import pickle
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (
+    add, canonical_text, decode_term, decode_terms, encode_term,
+    encode_terms, eq, fingerprint, forall, intc, ite, mk, mul, var, xor,
+    WireFormatError,
+)
+from repro.logic.wire import WIRE_MAGIC
+
+
+# -- strategies -------------------------------------------------------------
+
+_names = st.sampled_from(["x", "y", "z", "acc", "B", "K"])
+
+
+def _terms(depth=3):
+    base = st.one_of(
+        st.integers(-64, 64).map(intc),
+        _names.map(var),
+    )
+    if depth == 0:
+        return base
+    sub = _terms(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(sub, sub).map(lambda p: add(*p)),
+        st.tuples(sub, sub).map(lambda p: mul(*p)),
+        st.tuples(sub, sub).map(lambda p: eq(*p)),
+        st.tuples(sub, sub).map(lambda p: xor(p[0], p[1])),
+        st.tuples(sub, sub, sub).map(lambda p: ite(eq(p[0], p[1]), p[1],
+                                                   p[2])),
+        st.tuples(_names, sub).map(
+            lambda p: forall((p[0],), eq(var(p[0]), p[1]))),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(_terms())
+    def test_decode_encode_is_identity(self, term):
+        """In-process: decoding re-interns onto the *same* object."""
+        assert decode_term(encode_term(term)) is term
+
+    @settings(max_examples=100, deadline=None)
+    @given(_terms())
+    def test_pickle_restores_identity(self, term):
+        assert pickle.loads(pickle.dumps(term)) is term
+
+    @settings(max_examples=100, deadline=None)
+    @given(_terms())
+    def test_fingerprint_survives(self, term):
+        wire = encode_term(term)
+        assert fingerprint(decode_term(wire)) == fingerprint(term)
+        assert canonical_text(decode_term(wire)) == canonical_text(term)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_terms(), _terms())
+    def test_multi_root_sharing(self, a, b):
+        """Two roots encode into one shared node table and decode to the
+        same objects."""
+        ra, rb = decode_terms(encode_terms((a, b)))
+        assert ra is a and rb is b
+
+    def test_shared_subterm_encoded_once(self):
+        shared = add(var("x"), intc(1))
+        term = mul(shared, shared)
+        _, nodes, _ = encode_term(term)
+        # x, 1, add, mul: the shared DAG stays a DAG on the wire.
+        assert len(nodes) == 4
+
+    def test_pickled_list_preserves_aliasing(self):
+        t = add(var("x"), intc(7))
+        out = pickle.loads(pickle.dumps([t, t, mul(t, t)]))
+        assert out[0] is out[1] is t
+        assert out[2].args[0] is t
+
+    def test_quantifier_value_tuple(self):
+        body = eq(add(var("k"), intc(1)), var("n"))
+        q = forall(("k",), body)
+        assert decode_term(encode_term(q)) is q
+
+
+class TestCrossProcess:
+    def test_identity_and_fingerprint_in_fresh_interpreter(self):
+        """A fresh interpreter (different hash seed, different interning
+        history) unpickles the wire into *its* table: aliasing holds and
+        fingerprints agree with the sender's."""
+        t = ite(eq(var("x"), intc(0)), add(var("y"), intc(1)),
+                mul(var("y"), intc(2)))
+        blob = pickle.dumps([t, t])
+        program = (
+            "import pickle, sys\n"
+            "from repro.logic import fingerprint, term_table\n"
+            "a, b = pickle.load(sys.stdin.buffer)\n"
+            "assert a is b, 'aliasing lost across the boundary'\n"
+            "assert a is not None\n"
+            "print(fingerprint(a))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", program],
+            input=blob, capture_output=True, check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "999"},
+        ).stdout.decode().strip()
+        assert out == fingerprint(t)
+
+
+class TestMalformedWire:
+    def test_bad_magic(self):
+        with pytest.raises(WireFormatError):
+            decode_terms(("not-a-wire", [], [0]))
+
+    def test_forward_reference_rejected(self):
+        wire = (WIRE_MAGIC, [("add", (1,), None), ("int", (), 1)], [0])
+        with pytest.raises(WireFormatError):
+            decode_terms(wire)
+
+    def test_root_out_of_range(self):
+        wire = (WIRE_MAGIC, [("int", (), 1)], [3])
+        with pytest.raises(WireFormatError):
+            decode_terms(wire)
+
+    def test_not_a_tuple(self):
+        with pytest.raises(WireFormatError):
+            decode_terms("garbage")

@@ -24,6 +24,7 @@ import threading
 import pytest
 
 from repro.aes import refactored_package
+from repro.exec import ExecConfig
 from repro.lang import analyze, parse_package
 from repro.logic import (
     Rewriter, add, band, default_rules, fingerprint, intc, mk,
@@ -250,10 +251,11 @@ class TestSmallStackThreads:
         deepest = max(
             corpus,
             key=lambda name: max(max_depth(t) for t in corpus[name]))
-        baseline = ImplementationProof(typed, jobs=1, cache=False).run(
-            [deepest])
+        baseline = ImplementationProof(
+            typed, exec=ExecConfig(jobs=1, cache=False)).run([deepest])
         result = _run_in_small_stack_thread(
-            lambda: ImplementationProof(typed, jobs=2, cache=False).run(
+            lambda: ImplementationProof(
+                typed, exec=ExecConfig(jobs=2, cache=False)).run(
                 [deepest]))
         assert result.feasible
         assert [(o.vc.name, o.stage) for o in result.outcomes] == \
