@@ -45,10 +45,11 @@ Quickstart::
 from .core import (
     EchoResult, EchoVerifier, MetricsGate, RefactoringProcess, verify_aes,
 )
-from .exec import ExecConfig, ResultCache, Telemetry
+from .exec import ExecConfig, ResultCache, RetryPolicy, Telemetry
 
 __version__ = "1.0.0"
 
 __all__ = ["EchoVerifier", "EchoResult", "MetricsGate",
            "RefactoringProcess", "verify_aes",
-           "ExecConfig", "ResultCache", "Telemetry", "__version__"]
+           "ExecConfig", "ResultCache", "RetryPolicy", "Telemetry",
+           "__version__"]

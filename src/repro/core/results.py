@@ -64,5 +64,15 @@ class EchoResult:
                 f"proof obligations            {stats.total} "
                 f"({sum(stats.cached.values())} cached, hit rate "
                 f"{100.0 * stats.hit_rate:.1f}%)")
+            faults = {name: count for name, count in stats.failures.items()
+                      if count}
+            if faults:
+                # Surface fault-tolerance activity: a verdict reached
+                # through crash recovery or a degraded backend is still a
+                # verdict, but the operator should see it happened.
+                lines.append(
+                    f"execution faults             "
+                    + ", ".join(f"{name}: {count}"
+                                for name, count in sorted(faults.items())))
         lines.append(f"VERIFIED: {self.verified}")
         return "\n".join(lines)

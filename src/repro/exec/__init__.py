@@ -25,6 +25,7 @@ from .cache import (
 )
 from .config import ExecConfig, coerce_exec_config
 from .events import ObligationEvent
+from .retry import RetryPolicy
 from .obligation import (
     EQUIV_TRIAL, LEMMA, VC, Obligation, equiv_trial_obligation,
     lemma_obligation, vc_obligation,
@@ -33,12 +34,15 @@ from .payload import (
     CallPayload, EquivTrialPayload, LemmaPayload, ObligationPayload,
     VCPayload,
 )
-from .scheduler import BACKENDS, ObligationOutcome, ObligationScheduler
+from .scheduler import (
+    BACKENDS, BackendUnusableError, ObligationOutcome, ObligationScheduler,
+)
 from .telemetry import ExecStats, Telemetry, default_telemetry
 
 __all__ = [
     "Obligation", "ObligationOutcome", "ObligationScheduler", "BACKENDS",
-    "ExecConfig", "coerce_exec_config",
+    "BackendUnusableError",
+    "ExecConfig", "RetryPolicy", "coerce_exec_config",
     "ObligationEvent", "ExecStats", "Telemetry", "default_telemetry",
     "ResultCache", "default_cache", "make_key",
     "package_fingerprint", "theory_fingerprint",

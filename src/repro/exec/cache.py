@@ -28,6 +28,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from pathlib import Path
 from typing import Any, Callable, Optional, Tuple
 
@@ -79,6 +80,11 @@ def theory_fingerprint(theory) -> str:
 class ResultCache:
     """Two-layer (memory + optional disk) content-addressed result store."""
 
+    #: ``.tmp`` files older than this at store open are orphans of a
+    #: writer that died between ``mkstemp`` and ``os.replace``; younger
+    #: ones may belong to a concurrent live writer and are left alone.
+    STALE_TMP_SECONDS = 600.0
+
     def __init__(self, disk_dir: Optional[os.PathLike] = None):
         self._lock = threading.Lock()
         self._memory = {}
@@ -87,6 +93,7 @@ class ResultCache:
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
+            self._sweep_tmp(older_than=self.STALE_TMP_SECONDS)
 
     # -- core ---------------------------------------------------------------
 
@@ -144,6 +151,26 @@ class ResultCache:
 
     # -- maintenance / stats -------------------------------------------------
 
+    def _sweep_tmp(self, older_than: float = 0.0) -> int:
+        """Unlink orphaned ``.tmp`` files (a writer died between
+        ``mkstemp`` and the atomic ``os.replace``).  With ``older_than``,
+        only files whose mtime is at least that many seconds old go --
+        the store-open sweep uses this so a concurrent writer's live
+        temp file survives.  Returns the number removed."""
+        if self.disk_dir is None:
+            return 0
+        cutoff = time.time() - older_than
+        removed = 0
+        for entry in self.disk_dir.glob("*/*.tmp"):
+            try:
+                if older_than and entry.stat().st_mtime > cutoff:
+                    continue
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass   # already gone, or racing with its writer
+        return removed
+
     def clear(self, memory_only: bool = False) -> None:
         with self._lock:
             self._memory.clear()
@@ -154,6 +181,8 @@ class ResultCache:
                     entry.unlink()
                 except OSError:
                     pass
+            self._sweep_tmp()   # orphaned temp files accumulate forever
+                                # otherwise: clear() only globbed *.json
 
     def __len__(self) -> int:
         with self._lock:

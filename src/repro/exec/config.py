@@ -22,12 +22,13 @@ from __future__ import annotations
 import dataclasses
 import warnings
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
+from .retry import RetryPolicy
 from .scheduler import BACKENDS, ObligationScheduler
 from .telemetry import Telemetry
 
-__all__ = ["ExecConfig", "coerce_exec_config", "UNSET"]
+__all__ = ["ExecConfig", "RetryPolicy", "coerce_exec_config", "UNSET"]
 
 
 class _Unset:
@@ -56,13 +57,19 @@ class ExecConfig:
                          None for the component's default (the verifier
                          allocates one per run; bare schedulers fall back
                          to the process-wide log).
-    ``timeout_seconds``  per-obligation wall bound.  The process backend
-                         enforces it preemptively (SIGALRM in the
-                         worker); the thread backend can only abandon the
-                         overrun thread.
-    ``retries``          re-runs granted to a raising obligation.
+    ``timeout_seconds``  per-obligation wall bound; must be positive when
+                         given (0 would silently *disable* the worker's
+                         SIGALRM instead of enforcing a bound).  The
+                         process backend enforces it preemptively (SIGALRM
+                         in the worker); the thread backend can only
+                         abandon the overrun thread.
+    ``retries``          a :class:`RetryPolicy`, or an int coerced to one
+                         (that many retries, default exponential backoff).
     ``on_error``         'raise' (propagate, the historical behaviour) or
                          'record' (mark the obligation ``errored``).
+    ``on_backend_failure``  'raise' (an unusable backend aborts the run)
+                         or 'degrade' (fall back process→thread→serial,
+                         recording a ``degraded`` telemetry event).
     """
 
     jobs: Optional[int] = 1
@@ -70,8 +77,9 @@ class ExecConfig:
     cache: Any = None
     telemetry: Optional[Telemetry] = None
     timeout_seconds: Optional[float] = None
-    retries: int = 0
+    retries: Union[int, RetryPolicy] = 0
     on_error: str = "raise"
+    on_backend_failure: str = "raise"
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -82,8 +90,16 @@ class ExecConfig:
         if self.on_error not in ("raise", "record"):
             raise ValueError(f"on_error must be 'raise' or 'record', "
                              f"got {self.on_error!r}")
-        if self.retries < 0:
-            raise ValueError(f"retries must be >= 0, got {self.retries!r}")
+        if self.on_backend_failure not in ("raise", "degrade"):
+            raise ValueError(f"on_backend_failure must be 'raise' or "
+                             f"'degrade', got {self.on_backend_failure!r}")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(f"timeout_seconds must be positive, got "
+                             f"{self.timeout_seconds!r} (0 would disable "
+                             f"the worker-side alarm, not enforce one)")
+        # Coerce a plain-int retry count to the equivalent policy so every
+        # downstream consumer sees one type (the frozen-dataclass dance).
+        object.__setattr__(self, "retries", RetryPolicy.coerce(self.retries))
 
     # -- derivation ---------------------------------------------------------
 
@@ -92,7 +108,8 @@ class ExecConfig:
         return ObligationScheduler(
             jobs=self.jobs, cache=self.cache, telemetry=self.telemetry,
             timeout_seconds=self.timeout_seconds, retries=self.retries,
-            on_error=self.on_error, backend=self.backend)
+            on_error=self.on_error, backend=self.backend,
+            on_backend_failure=self.on_backend_failure)
 
     def with_telemetry(self, telemetry: Telemetry) -> "ExecConfig":
         """This config with ``telemetry`` bound (components that own a

@@ -5,6 +5,22 @@ on a worker, finished, served from cache, timed out, errored, retried,
 skipped by early exit -- is recorded as one :class:`ObligationEvent` in the
 run's :class:`~repro.exec.telemetry.Telemetry` log.  Events are plain data
 (JSON-dumpable) so benchmark harnesses can post-process them.
+
+Fault-tolerance events extend the life cycle (DESIGN.md §12):
+
+* ``CRASHED`` -- the obligation was in flight when a pool worker died; it
+  is blamed once and requeued (non-terminal: the obligation lives on).
+* ``QUARANTINED`` -- the obligation killed a worker twice and is pulled
+  from circulation with a ``crashed`` outcome (terminal).
+* ``RETRIED_OK`` -- the obligation eventually succeeded after at least
+  one retry or crash-requeue (non-terminal bookkeeping; the matching
+  ``FINISHED`` event is the terminal one).
+* ``DEGRADED`` -- the scheduler abandoned an unusable backend and fell
+  back along the process→thread→serial chain (``kind='exec'``; not tied
+  to a single obligation).
+* ``WORKER_ABANDONED`` -- pool shutdown left an unresponsive worker
+  behind (``kind='exec'``; the obligation itself was already recorded
+  ``timed_out``).
 """
 
 from __future__ import annotations
@@ -14,7 +30,8 @@ from dataclasses import asdict, dataclass
 __all__ = [
     "ObligationEvent",
     "SUBMITTED", "STARTED", "FINISHED", "CACHED", "TIMED_OUT", "ERRORED",
-    "RETRIED", "SKIPPED", "TERMINAL_EVENTS",
+    "RETRIED", "SKIPPED", "CRASHED", "QUARANTINED", "DEGRADED",
+    "RETRIED_OK", "WORKER_ABANDONED", "TERMINAL_EVENTS",
 ]
 
 SUBMITTED = "submitted"
@@ -25,9 +42,17 @@ TIMED_OUT = "timed_out"
 ERRORED = "errored"
 RETRIED = "retried"
 SKIPPED = "skipped"
+CRASHED = "crashed"
+QUARANTINED = "quarantined"
+DEGRADED = "degraded"
+RETRIED_OK = "retried_ok"
+WORKER_ABANDONED = "worker_abandoned"
 
 #: Events that end an obligation's life (used for queue-depth accounting).
-TERMINAL_EVENTS = frozenset({FINISHED, CACHED, TIMED_OUT, ERRORED, SKIPPED})
+#: ``CRASHED`` is deliberately absent -- a crashed-once obligation is
+#: requeued; ``QUARANTINED`` is its terminal event when it crashes again.
+TERMINAL_EVENTS = frozenset({FINISHED, CACHED, TIMED_OUT, ERRORED, SKIPPED,
+                             QUARANTINED})
 
 
 @dataclass(frozen=True)

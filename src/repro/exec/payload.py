@@ -51,6 +51,15 @@ class ObligationPayload:
     Subclasses implement :meth:`run` (worker-side: rebuild context and
     execute) and may override the result codecs.  Instances must be
     picklable; keep fields to ASTs, terms, strings, and numbers.
+
+    Execution semantics are **at-least-once**: crash recovery
+    (DESIGN.md §12) re-ships a payload whose worker died, and the retry
+    policy re-runs one that raised transiently, so :meth:`run` must be
+    idempotent -- a pure function of the payload's fields, like every
+    proof discharge is.  A payload that kills its worker outright
+    (``os._exit``, a segfaulting extension) is blamed, re-verified solo,
+    and quarantined with a ``crashed`` outcome if it kills again; it
+    cannot abort the surrounding run.
     """
 
     def run(self) -> Any:

@@ -1,0 +1,91 @@
+"""Retry policy for failing obligations: exponential backoff with
+deterministic jitter.
+
+A transiently failing obligation (a raising thunk, or one requeued after
+a worker crash) is re-fired after a delay that grows exponentially with
+the attempt number, saturating at ``max_delay``.  The jitter share that
+de-synchronizes concurrent retry storms is *deterministic*: it is derived
+from a SHA-256 over the obligation's identity token and the attempt
+number, never from ``random`` or the wall clock, so the same obligation
+produces the same delay schedule on every backend and host -- the
+determinism guarantee the cross-backend differential gates rely on
+(DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how patiently) a failing obligation is re-fired.
+
+    ``retries``     re-runs granted after the first failing attempt.
+    ``base_delay``  seconds slept before the first retry.
+    ``factor``      exponential growth of the delay per further retry.
+    ``max_delay``   hard cap on any single delay (backoff saturates here).
+    ``jitter``      fraction of the delay added as deterministic jitter
+                    (see the module docstring).
+
+    The zero policy (``retries=0``) never sleeps and never re-fires --
+    exactly the historical behaviour of ``retries=0``.  Plain ints coerce
+    via :meth:`coerce`, so ``ExecConfig(retries=2)`` keeps working.
+    """
+
+    retries: int = 0
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries!r}")
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, "
+                             f"got {self.base_delay!r}")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor!r}")
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, "
+                             f"got {self.max_delay!r}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be within [0, 1], "
+                             f"got {self.jitter!r}")
+
+    @classmethod
+    def coerce(cls, value: Union[int, "RetryPolicy"]) -> "RetryPolicy":
+        """``RetryPolicy`` passes through; a non-negative int becomes a
+        policy with that many retries and the default backoff."""
+        if isinstance(value, RetryPolicy):
+            return value
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeError(f"retries must be an int or a RetryPolicy, "
+                            f"got {type(value).__name__}")
+        return cls(retries=value)
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Seconds to sleep before re-firing after ``attempt`` failed
+        attempts (``attempt >= 1``).  Pure function of
+        ``(policy, attempt, token)`` -- the determinism guarantee."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt!r}")
+        if self.base_delay == 0.0:
+            return 0.0
+        raw = min(self.max_delay,
+                  self.base_delay * self.factor ** (attempt - 1))
+        if self.jitter:
+            digest = hashlib.sha256(
+                f"{token}\x1f{attempt}".encode()).hexdigest()
+            fraction = int(digest[:8], 16) / 0xFFFFFFFF
+            raw = min(self.max_delay, raw * (1.0 + self.jitter * fraction))
+        return raw
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)

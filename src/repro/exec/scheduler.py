@@ -37,13 +37,29 @@ The process backend upgrades this to a hard bound: the worker installs a
 obligation is preempted mid-computation, reported ``timed_out``, and the
 worker process stays healthy for the next obligation.  (A stuck worker
 that fails to honor the alarm is abandoned by a parent-side fallback
-deadline.)  In serial mode the thunk's own internal timeouts
+deadline, and the abandonment is recorded in telemetry at shutdown.)  In
+serial mode the thunk's own internal timeouts
 (e.g. ``AutoProver.timeout_seconds``) bound the work, as they always did.
 
-Transient failures are retried up to ``retries`` times; a thunk that still
-raises either propagates (``on_error='raise'``, the default -- matching
-the pre-scheduler behaviour) or is recorded as an ``errored`` outcome
-(``on_error='record'``).
+Fault tolerance (DESIGN.md §12).  Transient failures are retried under a
+:class:`~repro.exec.retry.RetryPolicy` -- exponential backoff with
+deterministic jitter, so the delay schedule of an obligation is identical
+on every backend and host; a thunk that still raises either propagates
+(``on_error='raise'``, the default -- matching the pre-scheduler
+behaviour) or is recorded as an ``errored`` outcome
+(``on_error='record'``).  The process backend additionally survives
+*worker death*: when the pool breaks (``BrokenProcessPool``), every
+in-flight obligation is blamed once and requeued for a solo re-run on a
+freshly respawned pool -- solo, so the second run assigns guilt
+precisely -- and an obligation that kills a worker twice is quarantined
+with a ``crashed`` outcome instead of aborting the run.  When the
+backend itself proves unusable (the pool cannot be respawned, worker
+processes die before executing anything, thread creation fails), the
+scheduler either raises :class:`BackendUnusableError`
+(``on_backend_failure='raise'``) or degrades along the
+process→thread→serial chain (``on_backend_failure='degrade'``),
+recording a ``degraded`` telemetry event and finishing the remaining
+obligations on the fallback backend.
 """
 
 from __future__ import annotations
@@ -54,33 +70,43 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import (
-    FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor,
-    TimeoutError as _FutureTimeout, wait as _fut_wait,
+    FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor,
+    ThreadPoolExecutor, TimeoutError as _FutureTimeout, wait as _fut_wait,
 )
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from . import events as ev
 from .cache import ResultCache, default_cache
 from .obligation import Obligation
+from .retry import RetryPolicy
 from .telemetry import Telemetry, default_telemetry
 
-__all__ = ["ObligationOutcome", "ObligationScheduler", "BACKENDS"]
+__all__ = ["ObligationOutcome", "ObligationScheduler", "BACKENDS",
+           "BackendUnusableError"]
 
 #: Recognized execution backends, in increasing order of isolation.
 BACKENDS = ("serial", "thread", "process")
+
+#: Fallback taken by ``on_backend_failure='degrade'`` when a backend is
+#: unusable; ``serial`` has no fallback -- it cannot fail to exist.
+DEGRADE_CHAIN = {"process": "thread", "thread": "serial"}
 
 OK = "ok"
 CACHED = "cached"
 TIMED_OUT = "timed_out"
 ERRORED = "errored"
 SKIPPED = "skipped"
+CRASHED = "crashed"
+
+#: Kill-a-worker blames after which an obligation is quarantined.
+QUARANTINE_AFTER = 2
 
 
 @dataclass
 class ObligationOutcome:
     obligation: Obligation
-    status: str                  # ok | cached | timed_out | errored | skipped
+    status: str          # ok | cached | timed_out | errored | skipped | crashed
     value: object = None
     wall_seconds: float = 0.0
     attempts: int = 0
@@ -89,6 +115,18 @@ class ObligationOutcome:
     @property
     def ok(self) -> bool:
         return self.status in (OK, CACHED)
+
+
+class BackendUnusableError(RuntimeError):
+    """The selected execution backend cannot make progress at all --
+    distinct from any single obligation failing.  Raised to the caller
+    under ``on_backend_failure='raise'``; consumed by the degradation
+    chain under ``on_backend_failure='degrade'``."""
+
+    def __init__(self, backend: str, reason: str):
+        super().__init__(f"backend {backend!r} unusable: {reason}")
+        self.backend = backend
+        self.reason = reason
 
 
 class _Abandoned(Exception):
@@ -100,8 +138,8 @@ class _HardTimeout(BaseException):
     no ``except Exception`` inside a discharge can swallow it."""
 
 
-def _process_worker(index: int, payload, retries: int,
-                    timeout_seconds: Optional[float]) -> tuple:
+def _process_worker(index: int, payload, retry_policy: RetryPolicy,
+                    timeout_seconds: Optional[float], token: str) -> tuple:
     """Execute one obligation payload in a pool worker.
 
     Returns ``(index, status, wire_value, wall, attempts, retry_errors,
@@ -109,7 +147,9 @@ def _process_worker(index: int, payload, retries: int,
     only shipped as objects when they themselves pickle.  ``status`` is
     ``'ok'``, ``'timed_out'`` (the hard per-obligation deadline fired) or
     ``'errored'``.  The timeout budget covers the whole obligation,
-    retries included, matching the thread backend's per-obligation wait.
+    retries *and their backoff sleeps* included, matching the thread
+    backend's per-obligation wait; ``token`` feeds the deterministic
+    jitter so worker-side delays equal parent-side ones.
     """
     import pickle
 
@@ -138,13 +178,16 @@ def _process_worker(index: int, payload, retries: int,
                         time.perf_counter() - started, attempts,
                         tuple(retry_errors), None)
             except Exception as exc:   # noqa: BLE001 - boundary by design
-                if attempts <= retries:
+                if attempts <= retry_policy.retries:
                     retry_errors.append(str(exc))
+                    pause = retry_policy.delay(attempts, token)
+                    if pause:
+                        time.sleep(pause)
                     continue
                 try:
                     pickle.dumps(exc)
                     shipped = exc
-                except Exception:
+                except Exception:   # noqa: BLE001 - anything may fail to pickle
                     shipped = None
                 return (index, "errored",
                         f"{type(exc).__name__}: {exc}",
@@ -157,13 +200,24 @@ def _process_worker(index: int, payload, retries: int,
 
 
 class ObligationScheduler:
+    #: (Re)spawn attempts granted to the process pool before the backend
+    #: is declared unusable.
+    POOL_SPAWN_ATTEMPTS = 2
+    #: Consecutive pool breaks with *nothing in flight* (workers dying
+    #: before executing anything) after which the backend is unusable.
+    BARREN_CRASH_LIMIT = 2
+    #: Parent-side slack (seconds) added on top of the per-obligation
+    #: timeout before an unresponsive worker is abandoned.
+    TIMEOUT_FALLBACK_SLACK = 5.0
+
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  telemetry: Optional[Telemetry] = None,
                  timeout_seconds: Optional[float] = None,
-                 retries: int = 0,
+                 retries: Union[int, RetryPolicy] = 0,
                  on_error: str = "raise",
-                 backend: str = "thread"):
+                 backend: str = "thread",
+                 on_backend_failure: str = "raise"):
         self.jobs = max(1, jobs if jobs is not None else
                         (os.cpu_count() or 1))
         if backend not in BACKENDS:
@@ -180,12 +234,22 @@ class ObligationScheduler:
             self.cache = cache
         self.telemetry = telemetry if telemetry is not None \
             else default_telemetry()
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise ValueError(f"timeout_seconds must be positive, "
+                             f"got {timeout_seconds!r}")
         self.timeout_seconds = timeout_seconds
-        self.retries = retries
+        self.retry_policy = RetryPolicy.coerce(retries)
+        #: Plain retry count, kept for backward compatibility with code
+        #: that read the pre-policy int attribute.
+        self.retries = self.retry_policy.retries
         if on_error not in ("raise", "record"):
             raise ValueError(f"on_error must be 'raise' or 'record', "
                              f"got {on_error!r}")
         self.on_error = on_error
+        if on_backend_failure not in ("raise", "degrade"):
+            raise ValueError(f"on_backend_failure must be 'raise' or "
+                             f"'degrade', got {on_backend_failure!r}")
+        self.on_backend_failure = on_backend_failure
 
     # -- public -------------------------------------------------------------
 
@@ -198,52 +262,76 @@ class ObligationScheduler:
         obligations (remaining ones come back ``skipped``) -- the serial
         path's early exit, e.g. a differential check stopping at the first
         counterexample.
+
+        A pass that finds its backend unusable raises
+        :class:`BackendUnusableError` (``on_backend_failure='raise'``) or
+        falls back along ``process → thread → serial``
+        (``on_backend_failure='degrade'``): outcomes already reached stay
+        final, and only the unfinished obligations re-run on the fallback
+        backend.
         """
         obligations = list(obligations)
-        if self.backend == "serial" or self.jobs == 1 \
-                or len(obligations) <= 1:
-            return self._run_serial(obligations, stop_on)
-        if self.backend == "process":
-            return self._run_process(obligations, stop_on)
-        return self._run_parallel(obligations, stop_on)
+        outcomes: List[Optional[ObligationOutcome]] = [None] * len(obligations)
+        for ob in obligations:
+            self.telemetry.record(ev.SUBMITTED, ob.kind, ob.label)
+        backend = self.backend
+        if backend != "serial" and (self.jobs == 1 or len(obligations) <= 1):
+            backend = "serial"
+        while True:
+            try:
+                if backend == "serial":
+                    self._run_serial(obligations, stop_on, outcomes)
+                elif backend == "thread":
+                    self._run_parallel(obligations, stop_on, outcomes)
+                else:
+                    self._run_process(obligations, stop_on, outcomes)
+                break
+            except BackendUnusableError as exc:
+                fallback = DEGRADE_CHAIN.get(backend)
+                if self.on_backend_failure != "degrade" or fallback is None:
+                    raise
+                self.telemetry.record(ev.DEGRADED, "exec",
+                                      f"{backend}->{fallback}",
+                                      detail=exc.reason)
+                backend = fallback
+        for i, ob in enumerate(obligations):
+            if outcomes[i] is None:
+                outcomes[i] = self._skip(ob)
+        return outcomes  # type: ignore[return-value]
 
     # -- serial path --------------------------------------------------------
 
-    def _run_serial(self, obligations, stop_on) -> List[ObligationOutcome]:
-        outcomes: List[ObligationOutcome] = []
-        stopped = False
-        for ob in obligations:
-            if stopped:
-                outcomes.append(self._skip(ob))
+    def _run_serial(self, obligations, stop_on, outcomes) -> None:
+        for i, ob in enumerate(obligations):
+            if outcomes[i] is not None:
                 continue
-            self.telemetry.record(ev.SUBMITTED, ob.kind, ob.label)
             outcome = self._execute(ob)
             if outcome.status == ERRORED and self.on_error == "raise":
                 raise outcome._exception    # type: ignore[attr-defined]
-            outcomes.append(outcome)
+            outcomes[i] = outcome
             if stop_on is not None and stop_on(outcome):
-                stopped = True
-        return outcomes
+                return    # the unfilled tail is skipped by run()
 
     # -- parallel path ------------------------------------------------------
 
-    def _run_parallel(self, obligations, stop_on) -> List[ObligationOutcome]:
+    def _run_parallel(self, obligations, stop_on, outcomes) -> None:
         # Predecessor chain per group: obligation i waits until the previous
-        # obligation of its group has finished.  Submission order is FIFO,
-        # so a predecessor is always dequeued before its successor and the
-        # wait chain always terminates at a running task -- no deadlock.
-        done_events: List[threading.Event] = \
-            [threading.Event() for _ in obligations]
-        predecessor: List[Optional[int]] = [None] * len(obligations)
+        # unfinished obligation of its group has finished.  Submission order
+        # is FIFO, so a predecessor is always dequeued before its successor
+        # and the wait chain always terminates at a running task -- no
+        # deadlock.
+        remaining = [i for i in range(len(obligations))
+                     if outcomes[i] is None]
+        done_events: Dict[int, threading.Event] = \
+            {i: threading.Event() for i in remaining}
+        predecessor: Dict[int, Optional[int]] = {i: None for i in remaining}
         last_in_group: Dict[str, int] = {}
-        for i, ob in enumerate(obligations):
-            if ob.group is not None:
-                if ob.group in last_in_group:
-                    predecessor[i] = last_in_group[ob.group]
-                last_in_group[ob.group] = i
-
-        for ob in obligations:
-            self.telemetry.record(ev.SUBMITTED, ob.kind, ob.label)
+        for i in remaining:
+            group = obligations[i].group
+            if group is not None:
+                if group in last_in_group:
+                    predecessor[i] = last_in_group[group]
+                last_in_group[group] = i
 
         def worker(index: int) -> ObligationOutcome:
             try:
@@ -254,14 +342,25 @@ class ObligationScheduler:
             finally:
                 done_events[index].set()
 
-        outcomes: List[Optional[ObligationOutcome]] = [None] * len(obligations)
+        try:
+            pool = ThreadPoolExecutor(max_workers=self.jobs)
+        except Exception as exc:   # noqa: BLE001 - backend boundary
+            raise BackendUnusableError(
+                "thread", f"cannot start thread pool: {exc}")
+        futures: Dict[int, object] = {}
+        unusable: Optional[BaseException] = None
         stopped = False
         abandoned = False
-        pool = ThreadPoolExecutor(max_workers=self.jobs)
         try:
-            futures = [pool.submit(worker, i)
-                       for i in range(len(obligations))]
-            for i, future in enumerate(futures):
+            try:
+                for i in remaining:
+                    futures[i] = pool.submit(worker, i)
+            except RuntimeError as exc:
+                # e.g. "can't start new thread": collect what was submitted
+                # (predecessors were submitted first, so group chains among
+                # the submitted prefix still resolve), then degrade.
+                unusable = exc
+            for i, future in futures.items():
                 if stopped:
                     if future.cancel():
                         done_events[i].set()
@@ -282,23 +381,42 @@ class ObligationScheduler:
                         obligations[i].label, wall=outcome.wall_seconds)
                 outcomes[i] = outcome
                 if outcome.status == ERRORED and self.on_error == "raise":
-                    for later in futures[i + 1:]:
+                    for later in futures.values():
                         later.cancel()
-                    for event in done_events:
+                    for event in done_events.values():
                         event.set()   # release any chained waiters
                     raise outcome._exception  # type: ignore[attr-defined]
                 if stop_on is not None and not stopped \
                         and stop_on(outcome):
                     stopped = True
         finally:
+            if abandoned:
+                # Satellite of the failure taxonomy: an unresponsive
+                # worker left behind is telemetry, not a silent drop.
+                self.telemetry.record(
+                    ev.WORKER_ABANDONED, "exec", "backend:thread",
+                    detail="unresponsive worker thread abandoned at "
+                           "pool shutdown")
             # wait=False so an abandoned (timed-out) worker does not block
             # the collector; completed pools shut down immediately anyway.
             pool.shutdown(wait=not abandoned)
-        return outcomes  # type: ignore[return-value]
+        if unusable is not None:
+            raise BackendUnusableError(
+                "thread", f"thread pool stopped accepting work: {unusable}")
 
     # -- process path -------------------------------------------------------
 
-    def _run_process(self, obligations, stop_on) -> List[ObligationOutcome]:
+    def _spawn_pool(self) -> ProcessPoolExecutor:
+        last: Optional[BaseException] = None
+        for _ in range(self.POOL_SPAWN_ATTEMPTS):
+            try:
+                return ProcessPoolExecutor(max_workers=self.jobs)
+            except Exception as exc:   # noqa: BLE001 - backend boundary
+                last = exc
+        raise BackendUnusableError(
+            "process", f"cannot (re)spawn worker pool: {last}")
+
+    def _run_process(self, obligations, stop_on, outcomes) -> None:
         """Dispatcher over a ``ProcessPoolExecutor``.
 
         Group chaining is enforced dispatcher-side: an obligation is only
@@ -313,35 +431,49 @@ class ObligationScheduler:
         ``SIGALRM`` (see :func:`_process_worker`); the parent keeps a
         slack fallback deadline per future so even a worker that fails to
         honor the alarm (or dies) cannot wedge the collector.
+
+        Crash recovery: a dead worker breaks the whole pool, so every
+        in-flight obligation is blamed once, the pool is respawned, and
+        the blamed obligations re-run *solo* (one in flight at a time)
+        before normal fan-out resumes.  Solo execution makes the second
+        verdict precise: an obligation that crashes while alone is the
+        killer, reaches ``QUARANTINE_AFTER`` blames, and is quarantined
+        with a ``crashed`` outcome; innocent bystanders complete their
+        solo run and are never blamed again (a finalized obligation is
+        never resubmitted).  Total crashes are therefore bounded by
+        ``QUARANTINE_AFTER * len(obligations)`` -- the run always
+        terminates.
         """
         n = len(obligations)
+        remaining = [i for i in range(n) if outcomes[i] is None]
         successors: Dict[int, List[int]] = {}
-        predecessor: List[Optional[int]] = [None] * n
+        predecessor: Dict[int, Optional[int]] = {i: None for i in remaining}
         last_in_group: Dict[str, int] = {}
-        for i, ob in enumerate(obligations):
-            if ob.group is not None:
-                if ob.group in last_in_group:
-                    predecessor[i] = last_in_group[ob.group]
-                    successors.setdefault(last_in_group[ob.group],
+        for i in remaining:
+            group = obligations[i].group
+            if group is not None:
+                if group in last_in_group:
+                    predecessor[i] = last_in_group[group]
+                    successors.setdefault(last_in_group[group],
                                           []).append(i)
-                last_in_group[ob.group] = i
-
-        for ob in obligations:
-            self.telemetry.record(ev.SUBMITTED, ob.kind, ob.label)
+                last_in_group[group] = i
 
         # A worker that ignores its alarm (or a timeout with no SIGALRM
         # support) is abandoned once this much slack has passed.
         fallback = None
         if self.timeout_seconds is not None:
-            fallback = self.timeout_seconds * 1.5 + 5.0
+            fallback = self.timeout_seconds * 1.5 + self.TIMEOUT_FALLBACK_SLACK
 
-        outcomes: List[Optional[ObligationOutcome]] = [None] * n
-        ready = deque(i for i in range(n) if predecessor[i] is None)
-        in_flight: Dict[object, int] = {}     # Future -> index
-        deadlines: Dict[object, float] = {}   # Future -> abandon time
+        ready = deque(i for i in remaining if predecessor[i] is None)
+        suspects: deque = deque()            # crash-blamed, re-run solo
+        crash_blame: Dict[int, int] = {}
+        in_flight: Dict[object, int] = {}    # Future -> index
+        deadlines: Dict[object, float] = {}  # Future -> abandon time
         finished = 0
+        target = len(remaining)
         stopped = False
         abandoned = False
+        barren_crashes = 0
         raise_exc = None
 
         def finalize(index: int, outcome: ObligationOutcome):
@@ -357,42 +489,111 @@ class ObligationScheduler:
             if stop_on is not None and not stopped and stop_on(outcome):
                 stopped = True
 
-        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        pool = self._spawn_pool()
+
+        def submit(index: int) -> bool:
+            """Dispatch one obligation: cache hit, inline (payloadless),
+            or ship to a worker.  Returns False when the pool broke at
+            submission time (the obligation is requeued, unblamed)."""
+            ob = obligations[index]
+            keyed = ob.cache_key is not None and self.cache is not None
+            if keyed:
+                t0 = time.perf_counter()
+                hit, value = self.cache.get(ob.cache_key, decode=ob.decode)
+                if hit:
+                    wall = time.perf_counter() - t0
+                    self.telemetry.record(ev.CACHED, ob.kind, ob.label,
+                                          wall=wall)
+                    finalize(index, ObligationOutcome(
+                        obligation=ob, status=CACHED, value=value,
+                        wall_seconds=wall))
+                    return True
+            if ob.payload is None:
+                # No declarative spec: run on the parent (serial
+                # semantics; _execute records its own telemetry).
+                finalize(index, self._execute(ob))
+                return True
+            self.telemetry.record(ev.STARTED, ob.kind, ob.label)
+            try:
+                future = pool.submit(_process_worker, index, ob.payload,
+                                     self.retry_policy,
+                                     self.timeout_seconds, ob.label)
+            except BrokenExecutor:
+                # The pool died between receipts; this obligation never
+                # ran, so it goes back to the front of its queue unblamed.
+                return False
+            in_flight[future] = index
+            if fallback is not None:
+                deadlines[future] = time.perf_counter() + fallback
+            return True
+
+        def recover(cause: BaseException):
+            """Blame and requeue everything that was in flight when the
+            pool broke, quarantine double-killers, respawn the pool."""
+            nonlocal pool, barren_crashes
+            if in_flight:
+                barren_crashes = 0
+            else:
+                barren_crashes += 1
+                if barren_crashes >= self.BARREN_CRASH_LIMIT:
+                    raise BackendUnusableError(
+                        "process",
+                        f"worker pool keeps dying with nothing in flight "
+                        f"({cause})")
+            for future, index in list(in_flight.items()):
+                ob = obligations[index]
+                blame = crash_blame.get(index, 0) + 1
+                crash_blame[index] = blame
+                self.telemetry.record(
+                    ev.CRASHED, ob.kind, ob.label,
+                    detail=f"worker died ({type(cause).__name__}); "
+                           f"blame {blame}/{QUARANTINE_AFTER}")
+                if blame >= QUARANTINE_AFTER:
+                    self.telemetry.record(
+                        ev.QUARANTINED, ob.kind, ob.label,
+                        detail=f"killed a worker {blame} times")
+                    finalize(index, ObligationOutcome(
+                        obligation=ob, status=CRASHED, attempts=blame,
+                        error=f"obligation killed a worker {blame} times "
+                              f"({cause}); quarantined"))
+                else:
+                    suspects.append(index)
+            in_flight.clear()
+            deadlines.clear()
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:   # noqa: BLE001 - broken pools may misbehave
+                pass
+            pool = self._spawn_pool()
+
         try:
-            while finished < n:
-                while ready and not stopped and raise_exc is None:
-                    i = ready.popleft()
-                    ob = obligations[i]
-                    keyed = ob.cache_key is not None \
-                        and self.cache is not None
-                    if keyed:
-                        t0 = time.perf_counter()
-                        hit, value = self.cache.get(ob.cache_key,
-                                                    decode=ob.decode)
-                        if hit:
-                            wall = time.perf_counter() - t0
-                            self.telemetry.record(ev.CACHED, ob.kind,
-                                                  ob.label, wall=wall)
-                            finalize(i, ObligationOutcome(
-                                obligation=ob, status=CACHED, value=value,
-                                wall_seconds=wall))
+            while finished < target:
+                # -- dispatch ------------------------------------------------
+                while not stopped and raise_exc is None:
+                    if suspects:
+                        # Solo re-verification: nothing else may fly until
+                        # each crash suspect has been re-tried alone.
+                        if in_flight:
+                            break
+                        index = suspects.popleft()
+                        if not submit(index):
+                            suspects.appendleft(index)
+                            recover(BrokenExecutor("pool broke at submit"))
                             continue
-                    if ob.payload is None:
-                        # No declarative spec: run on the parent (serial
-                        # semantics; _execute records its own telemetry).
-                        finalize(i, self._execute(ob))
-                        continue
-                    self.telemetry.record(ev.STARTED, ob.kind, ob.label)
-                    future = pool.submit(_process_worker, i, ob.payload,
-                                         self.retries,
-                                         self.timeout_seconds)
-                    in_flight[future] = i
-                    if fallback is not None:
-                        deadlines[future] = time.perf_counter() + fallback
-                if finished >= n or raise_exc is not None:
+                        if in_flight:
+                            break   # exactly one suspect in flight
+                        continue    # finalized without flying (cache hit)
+                    if not ready:
+                        break
+                    index = ready.popleft()
+                    if not submit(index):
+                        ready.appendleft(index)
+                        recover(BrokenExecutor("pool broke at submit"))
+                if finished >= target or raise_exc is not None:
                     break
                 if not in_flight:
-                    break   # stopped/blocked: the tail is skipped below
+                    break   # stopped/blocked: the tail is skipped by run()
+                # -- collect -------------------------------------------------
                 wait_for = None
                 if deadlines:
                     wait_for = max(0.0, min(deadlines.values())
@@ -420,16 +621,26 @@ class ObligationScheduler:
                             error=f"no result within "
                                   f"{self.timeout_seconds}s (worker "
                                   f"unresponsive)"))
+                broken_cause = None
                 for future in done:
-                    i = in_flight.pop(future)
-                    deadlines.pop(future, None)
+                    if future not in in_flight:
+                        continue   # abandoned above, or cleared by recovery
+                    i = in_flight[future]
                     ob = obligations[i]
                     keyed = ob.cache_key is not None \
                         and self.cache is not None
                     try:
                         (_, status, wire, wall, attempts, retry_errors,
                          exc_obj) = future.result()
-                    except Exception as exc:   # crash / unpicklable result
+                    except BrokenExecutor as exc:
+                        # Worker death poisons every in-flight future; keep
+                        # this one in ``in_flight`` so recover() blames and
+                        # requeues it with its poisoned peers.
+                        broken_cause = exc
+                        continue
+                    except Exception as exc:   # noqa: BLE001 - unpicklable result etc.
+                        in_flight.pop(future)
+                        deadlines.pop(future, None)
                         self.telemetry.record(ev.ERRORED, ob.kind,
                                               ob.label, detail=str(exc))
                         outcome = ObligationOutcome(
@@ -438,6 +649,9 @@ class ObligationScheduler:
                         outcome._exception = exc   # type: ignore[attr-defined]
                         finalize(i, outcome)
                         continue
+                    in_flight.pop(future)
+                    deadlines.pop(future, None)
+                    barren_crashes = 0
                     for message in retry_errors:
                         self.telemetry.record(ev.RETRIED, ob.kind,
                                               ob.label, detail=message)
@@ -447,6 +661,12 @@ class ObligationScheduler:
                         self.telemetry.record(
                             ev.FINISHED, ob.kind, ob.label, wall=wall,
                             detail="keyed" if keyed else "")
+                        if attempts > 1 or crash_blame.get(i):
+                            self.telemetry.record(
+                                ev.RETRIED_OK, ob.kind, ob.label,
+                                detail=f"succeeded on attempt {attempts}"
+                                + (", after a worker crash"
+                                   if crash_blame.get(i) else ""))
                         if keyed:
                             self.cache.put(ob.cache_key, value,
                                            encode=ob.encode)
@@ -472,16 +692,19 @@ class ObligationScheduler:
                         outcome._exception = exc_obj if exc_obj is not None \
                             else RuntimeError(str(wire))   # type: ignore[attr-defined]
                         finalize(i, outcome)
-            for i in range(n):
-                if outcomes[i] is None:
-                    outcomes[i] = self._skip(obligations[i])
+                if broken_cause is not None:
+                    recover(broken_cause)
             if raise_exc is not None:
                 raise raise_exc
         finally:
+            if abandoned:
+                self.telemetry.record(
+                    ev.WORKER_ABANDONED, "exec", "backend:process",
+                    detail="unresponsive worker process abandoned at "
+                           "pool shutdown")
             # cancel_futures drops queued work; wait unless an abandoned
             # (unresponsive) worker would block shutdown indefinitely.
             pool.shutdown(wait=not abandoned, cancel_futures=True)
-        return outcomes  # type: ignore[return-value]
 
     # -- one obligation -----------------------------------------------------
 
@@ -509,9 +732,12 @@ class ObligationScheduler:
                 value = ob.thunk()
                 break
             except Exception as exc:   # noqa: BLE001 - boundary by design
-                if attempts <= self.retries:
+                if attempts <= self.retry_policy.retries:
                     self.telemetry.record(ev.RETRIED, ob.kind, ob.label,
                                           detail=str(exc))
+                    pause = self.retry_policy.delay(attempts, ob.label)
+                    if pause:
+                        time.sleep(pause)
                     continue
                 wall = time.perf_counter() - started
                 self.telemetry.record(ev.ERRORED, ob.kind, ob.label,
@@ -524,6 +750,9 @@ class ObligationScheduler:
         wall = time.perf_counter() - started
         self.telemetry.record(ev.FINISHED, ob.kind, ob.label, wall=wall,
                               detail="keyed" if keyed else "")
+        if attempts > 1:
+            self.telemetry.record(ev.RETRIED_OK, ob.kind, ob.label,
+                                  detail=f"succeeded on attempt {attempts}")
         if keyed:
             self.cache.put(ob.cache_key, value, encode=ob.encode)
         return ObligationOutcome(obligation=ob, status=OK, value=value,

@@ -24,8 +24,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .events import (
-    CACHED, ERRORED, FINISHED, RETRIED, SKIPPED, STARTED, SUBMITTED,
-    TERMINAL_EVENTS, TIMED_OUT, ObligationEvent,
+    CACHED, CRASHED, DEGRADED, ERRORED, FINISHED, QUARANTINED, RETRIED,
+    RETRIED_OK, SKIPPED, STARTED, SUBMITTED, TERMINAL_EVENTS, TIMED_OUT,
+    WORKER_ABANDONED, ObligationEvent,
 )
 
 __all__ = ["ExecStats", "Telemetry", "default_telemetry"]
@@ -64,6 +65,12 @@ class ExecStats:
     errors: int = 0
     retries: int = 0
     skipped: int = 0
+    #: fault-tolerance taxonomy (DESIGN.md §12) ------------------------------
+    crashes: int = 0            # worker-killing crash blames (non-terminal)
+    quarantined: int = 0        # obligations pulled after a second kill
+    degraded: int = 0           # backend fallbacks (process→thread→serial)
+    retried_ok: int = 0         # obligations that succeeded after retries
+    abandoned_workers: int = 0  # unresponsive workers left behind at shutdown
     wall_seconds: float = 0.0       # telemetry epoch -> last event
     busy_seconds: float = 0.0       # sum of per-obligation execution walls
     p50_seconds: float = 0.0        # percentile of computed-obligation walls
@@ -78,6 +85,18 @@ class ExecStats:
     def hit_rate(self) -> float:
         keyed = self.cache_hits + self.cache_misses
         return self.cache_hits / keyed if keyed else 0.0
+
+    @property
+    def failures(self) -> Dict[str, int]:
+        """The structured failure taxonomy: every way an obligation (or
+        the backend under it) misbehaved during the run."""
+        return {
+            "timeout": self.timeouts,
+            "crashed": self.crashes,
+            "quarantined": self.quarantined,
+            "degraded": self.degraded,
+            "retried_ok": self.retried_ok,
+        }
 
     def summary(self) -> str:
         kinds = ", ".join(f"{kind}: {n}"
@@ -100,6 +119,15 @@ class ExecStats:
                 f"timeouts / errors / retries / skipped  "
                 f"{self.timeouts} / {self.errors} / {self.retries} / "
                 f"{self.skipped}")
+        if self.crashes or self.quarantined or self.degraded \
+                or self.retried_ok or self.abandoned_workers:
+            lines.append(
+                f"crashes / quarantined / degraded / retried-ok  "
+                f"{self.crashes} / {self.quarantined} / {self.degraded} / "
+                f"{self.retried_ok}")
+            if self.abandoned_workers:
+                lines.append(f"abandoned workers          "
+                             f"{self.abandoned_workers}")
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -114,6 +142,8 @@ class ExecStats:
             "errors": self.errors,
             "retries": self.retries,
             "skipped": self.skipped,
+            "failures": self.failures,
+            "abandoned_workers": self.abandoned_workers,
             "wall_seconds": self.wall_seconds,
             "busy_seconds": self.busy_seconds,
             "p50_seconds": self.p50_seconds,
@@ -184,6 +214,16 @@ class Telemetry:
                 stats.retries += 1
             elif ev.event == SKIPPED:
                 stats.skipped += 1
+            elif ev.event == CRASHED:
+                stats.crashes += 1
+            elif ev.event == QUARANTINED:
+                stats.quarantined += 1
+            elif ev.event == DEGRADED:
+                stats.degraded += 1
+            elif ev.event == RETRIED_OK:
+                stats.retried_ok += 1
+            elif ev.event == WORKER_ABANDONED:
+                stats.abandoned_workers += 1
         walls.sort()
         stats.p50_seconds = _percentile(walls, 0.50)
         stats.p95_seconds = _percentile(walls, 0.95)

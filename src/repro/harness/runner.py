@@ -2,9 +2,11 @@
 evaluation and writes a combined report (used to produce EXPERIMENTS.md).
 
 Run as ``python -m repro.harness.runner [--quick] [--jobs N]
-[--backend {serial,thread,process}] [--timeout S]``.  The flags map onto
-one :class:`~repro.exec.ExecConfig` driving the proof legs; the execution
-configuration is recorded in ``results/telemetry.json``.
+[--backend {serial,thread,process}] [--timeout S] [--retries N]
+[--max-retry-delay S] [--on-backend-failure {raise,degrade}]``.  The
+flags map onto one :class:`~repro.exec.ExecConfig` driving the proof
+legs; the execution configuration (including the retry policy and any
+backend degradations) is recorded in ``results/telemetry.json``.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ import time
 from pathlib import Path
 from typing import Optional
 
-from ..exec import BACKENDS, ExecConfig, default_telemetry
+from ..exec import BACKENDS, ExecConfig, RetryPolicy, default_telemetry
 from .figures import figure2, render_figure2
 from .tables import (
     defect_tables, implementation_proof_stats, implication_proof_stats,
@@ -115,9 +117,14 @@ def _parse_jobs(argv) -> int:
     if raw is None:
         return 1
     try:
-        return max(1, int(raw))
+        value = int(raw)
     except ValueError:
         raise SystemExit(f"error: --jobs expects an integer, got {raw!r}")
+    if value < 1:
+        # A typo'd --jobs 0 used to be clamped to 1, silently serializing
+        # the whole benchmark run; fail loudly instead.
+        raise SystemExit(f"error: --jobs must be >= 1, got {raw!r}")
+    return value
 
 
 def _parse_backend(argv) -> str:
@@ -143,12 +150,49 @@ def _parse_timeout(argv) -> Optional[float]:
     return value
 
 
+def _parse_retry_policy(argv) -> RetryPolicy:
+    raw = _flag_value(argv, "--retries")
+    retries = 0
+    if raw is not None:
+        try:
+            retries = int(raw)
+        except ValueError:
+            raise SystemExit(f"error: --retries expects an integer, "
+                             f"got {raw!r}")
+        if retries < 0:
+            raise SystemExit(f"error: --retries must be >= 0, got {raw!r}")
+    raw = _flag_value(argv, "--max-retry-delay")
+    if raw is None:
+        return RetryPolicy(retries=retries)
+    try:
+        max_delay = float(raw)
+    except ValueError:
+        raise SystemExit(f"error: --max-retry-delay expects seconds, "
+                         f"got {raw!r}")
+    if max_delay < 0:
+        raise SystemExit(f"error: --max-retry-delay must be >= 0, "
+                         f"got {raw!r}")
+    return RetryPolicy(retries=retries, max_delay=max_delay)
+
+
+def _parse_on_backend_failure(argv) -> str:
+    raw = _flag_value(argv, "--on-backend-failure")
+    if raw is None:
+        return "raise"
+    if raw not in ("raise", "degrade"):
+        raise SystemExit(f"error: --on-backend-failure expects "
+                         f"raise or degrade, got {raw!r}")
+    return raw
+
+
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     quick = "--quick" in argv
     config = ExecConfig(jobs=_parse_jobs(argv),
                         backend=_parse_backend(argv),
-                        timeout_seconds=_parse_timeout(argv))
+                        timeout_seconds=_parse_timeout(argv),
+                        retries=_parse_retry_policy(argv),
+                        on_backend_failure=_parse_on_backend_failure(argv))
     report = run_all(quick=quick, exec=config)
     print(report)
     out = Path("results")
@@ -161,8 +205,9 @@ def main(argv=None) -> int:
         "backend": config.backend,
         "jobs": config.jobs,
         "timeout_seconds": config.timeout_seconds,
-        "retries": config.retries,
+        "retry_policy": config.retries.to_json(),
         "on_error": config.on_error,
+        "on_backend_failure": config.on_backend_failure,
     })
     return 0
 

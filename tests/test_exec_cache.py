@@ -1,6 +1,9 @@
 """Obligation cache tests: canonical fingerprints, hit/miss semantics on
 real proof runs, defect-induced invalidation, and the on-disk store."""
 
+import os
+import time
+
 import pytest
 
 from repro.defects.curated import curated_defects
@@ -184,3 +187,54 @@ class TestDiskStore:
         [outcome] = scheduler.run([ob])
         assert outcome.ok and outcome.value == 42
         assert not list((tmp_path / "c").rglob("*.json"))
+
+
+class TestTmpSweep:
+    """Regression: ``*.tmp`` files orphaned by a writer that died between
+    ``mkstemp`` and the atomic ``os.replace`` used to accumulate forever
+    (``clear()`` only globbed ``*.json``)."""
+
+    def _orphan(self, store, name, age_seconds=0.0):
+        bucket = store / "ab"
+        bucket.mkdir(parents=True, exist_ok=True)
+        orphan = bucket / name
+        orphan.write_text("{half-written")
+        if age_seconds:
+            old = time.time() - age_seconds
+            os.utime(orphan, (old, old))
+        return orphan
+
+    def test_clear_sweeps_orphaned_tmp_files(self, tmp_path):
+        store = tmp_path / "store"
+        cache = ResultCache(disk_dir=store)
+        key = make_key("sweep", "entry")
+        cache.put(key, {"v": 1}, encode=lambda v: v)
+        orphan = self._orphan(store, "stale0.tmp")
+        cache.clear()
+        assert not orphan.exists()
+        assert not list(store.rglob("*.json"))
+
+    def test_open_sweeps_only_stale_tmp_files(self, tmp_path):
+        """On store open, old orphans go but a *young* temp file (a
+        concurrent writer mid-publish) must survive."""
+        store = tmp_path / "store"
+        ResultCache(disk_dir=store)   # create the directory
+        stale = self._orphan(store, "stale.tmp",
+                             age_seconds=ResultCache.STALE_TMP_SECONDS + 60)
+        fresh = self._orphan(store, "fresh.tmp")
+        ResultCache(disk_dir=store)   # re-open: the sweep runs
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_crashed_writer_orphan_swept_then_store_still_works(
+            self, tmp_path):
+        store = tmp_path / "store"
+        cache = ResultCache(disk_dir=store)
+        self._orphan(store, "dead-writer.tmp",
+                     age_seconds=ResultCache.STALE_TMP_SECONDS + 1)
+        reopened = ResultCache(disk_dir=store)
+        assert not list(store.rglob("*.tmp"))
+        key = make_key("post", "sweep")
+        reopened.put(key, {"v": 2}, encode=lambda v: v)
+        hit, value = ResultCache(disk_dir=store).get(key, decode=lambda p: p)
+        assert hit and value == {"v": 2}

@@ -7,7 +7,7 @@ import warnings
 import pytest
 
 from repro.exec import (
-    ExecConfig, ObligationScheduler, ResultCache, Telemetry,
+    ExecConfig, ObligationScheduler, ResultCache, RetryPolicy, Telemetry,
     coerce_exec_config,
 )
 from repro.exec.config import UNSET
@@ -27,8 +27,11 @@ class TestExecConfig:
         assert config.cache is None
         assert config.telemetry is None
         assert config.timeout_seconds is None
-        assert config.retries == 0
+        # a plain-int retry count is coerced to the equivalent policy
+        assert config.retries == RetryPolicy(retries=0)
+        assert config.retries.retries == 0
         assert config.on_error == "raise"
+        assert config.on_backend_failure == "raise"
         assert config.effective_serial
 
     def test_scheduler_derivation(self):
@@ -54,6 +57,29 @@ class TestExecConfig:
             ExecConfig(on_error="ignore")
         with pytest.raises(ValueError, match="retries"):
             ExecConfig(retries=-1)
+        with pytest.raises(ValueError, match="on_backend_failure"):
+            ExecConfig(on_backend_failure="panic")
+
+    def test_non_positive_timeout_rejected(self):
+        """Regression: ``timeout_seconds=0`` used to pass validation but
+        silently disable the worker-side alarm (``setitimer(..., 0)``
+        cancels the timer), turning the 'timeout' into 'no timeout'."""
+        with pytest.raises(ValueError, match="timeout_seconds"):
+            ExecConfig(timeout_seconds=0)
+        with pytest.raises(ValueError, match="timeout_seconds"):
+            ExecConfig(timeout_seconds=-1.5)
+        with pytest.raises(ValueError, match="timeout_seconds"):
+            ObligationScheduler(timeout_seconds=0)
+        assert ExecConfig(timeout_seconds=0.5).timeout_seconds == 0.5
+
+    def test_retry_policy_accepted_and_preserved(self):
+        policy = RetryPolicy(retries=3, base_delay=0.01, max_delay=0.2)
+        config = ExecConfig(retries=policy)
+        assert config.retries is policy
+        scheduler = ExecConfig(jobs=2, retries=policy, cache=False,
+                               telemetry=Telemetry()).scheduler()
+        assert scheduler.retry_policy is policy
+        assert scheduler.retries == 3            # compat int view
 
     def test_hashable_and_frozen(self):
         config = ExecConfig(jobs=2)
