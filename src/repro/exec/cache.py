@@ -29,6 +29,7 @@ import os
 import tempfile
 import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Optional, Tuple
 
@@ -85,9 +86,18 @@ class ResultCache:
     #: ones may belong to a concurrent live writer and are left alone.
     STALE_TMP_SECONDS = 600.0
 
-    def __init__(self, disk_dir: Optional[os.PathLike] = None):
+    def __init__(self, disk_dir: Optional[os.PathLike] = None,
+                 max_memory_entries: Optional[int] = None):
+        """``max_memory_entries`` bounds the in-memory layer with
+        least-recently-used eviction (``None``: unbounded, the historical
+        behaviour).  Disk entries are never evicted: a memory-evicted key
+        that was written through to disk is still a (slower) hit."""
+        if max_memory_entries is not None and max_memory_entries < 1:
+            raise ValueError(f"max_memory_entries must be >= 1, got "
+                             f"{max_memory_entries!r}")
         self._lock = threading.Lock()
-        self._memory = {}
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        self.max_memory_entries = max_memory_entries
         self._hits = 0
         self._misses = 0
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
@@ -104,10 +114,10 @@ class ResultCache:
         caller supplies a decoder)."""
         with self._lock:
             value = self._memory.get(key, _MISS)
-        if value is not _MISS:
-            with self._lock:
+            if value is not _MISS:
+                self._memory.move_to_end(key)
                 self._hits += 1
-            return True, value
+                return True, value
         if self.disk_dir is not None and decode is not None:
             path = self._path(key)
             if path.is_file():
@@ -118,17 +128,40 @@ class ResultCache:
                     pass   # corrupt entry: treat as a miss, will be rewritten
                 else:
                     with self._lock:
-                        self._memory[key] = value
+                        self._store(key, value)
                         self._hits += 1
                     return True, value
         with self._lock:
             self._misses += 1
         return False, None
 
+    def _store(self, key: str, value: Any) -> None:
+        """Insert as most recently used and evict over the cap.  Caller
+        holds the lock."""
+        memory = self._memory
+        if key in memory:
+            memory.move_to_end(key)
+        memory[key] = value
+        if self.max_memory_entries is not None:
+            while len(memory) > self.max_memory_entries:
+                memory.popitem(last=False)
+
+    def set_memory_limit(self, max_memory_entries: Optional[int]) -> None:
+        """(Re)bound the in-memory layer, evicting the least recently
+        used entries immediately if already over the new cap."""
+        if max_memory_entries is not None and max_memory_entries < 1:
+            raise ValueError(f"max_memory_entries must be >= 1, got "
+                             f"{max_memory_entries!r}")
+        with self._lock:
+            self.max_memory_entries = max_memory_entries
+            if max_memory_entries is not None:
+                while len(self._memory) > max_memory_entries:
+                    self._memory.popitem(last=False)
+
     def put(self, key: str, value: Any,
             encode: Optional[Callable[[Any], Any]] = None) -> None:
         with self._lock:
-            self._memory[key] = value
+            self._store(key, value)
         if self.disk_dir is not None and encode is not None:
             path = self._path(key)
             path.parent.mkdir(parents=True, exist_ok=True)

@@ -53,6 +53,10 @@ class ExecConfig:
     ``cache``            a :class:`~repro.exec.cache.ResultCache`, None
                          for the process-wide default, or False to
                          disable caching outright.
+    ``cache_memory_entries``  LRU cap applied to the resolved cache's
+                         in-memory layer (None leaves the cache's own
+                         setting; long harness runs bound their footprint
+                         with this).
     ``telemetry``        a :class:`~repro.exec.telemetry.Telemetry`, or
                          None for the component's default (the verifier
                          allocates one per run; bare schedulers fall back
@@ -75,6 +79,7 @@ class ExecConfig:
     jobs: Optional[int] = 1
     backend: str = "thread"
     cache: Any = None
+    cache_memory_entries: Optional[int] = None
     telemetry: Optional[Telemetry] = None
     timeout_seconds: Optional[float] = None
     retries: Union[int, RetryPolicy] = 0
@@ -93,6 +98,10 @@ class ExecConfig:
         if self.on_backend_failure not in ("raise", "degrade"):
             raise ValueError(f"on_backend_failure must be 'raise' or "
                              f"'degrade', got {self.on_backend_failure!r}")
+        if self.cache_memory_entries is not None \
+                and self.cache_memory_entries < 1:
+            raise ValueError(f"cache_memory_entries must be >= 1, got "
+                             f"{self.cache_memory_entries!r}")
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ValueError(f"timeout_seconds must be positive, got "
                              f"{self.timeout_seconds!r} (0 would disable "
@@ -106,7 +115,9 @@ class ExecConfig:
     def scheduler(self) -> ObligationScheduler:
         """A scheduler configured by this config (one per run)."""
         return ObligationScheduler(
-            jobs=self.jobs, cache=self.cache, telemetry=self.telemetry,
+            jobs=self.jobs, cache=self.cache,
+            cache_memory_entries=self.cache_memory_entries,
+            telemetry=self.telemetry,
             timeout_seconds=self.timeout_seconds, retries=self.retries,
             on_error=self.on_error, backend=self.backend,
             on_backend_failure=self.on_backend_failure)

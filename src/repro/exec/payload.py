@@ -82,6 +82,10 @@ class ObligationPayload:
 _TYPED_CACHE: Dict[str, Any] = {}
 _PROVER_CACHE: Dict[tuple, tuple] = {}
 _THEORY_CACHE: Dict[tuple, tuple] = {}
+#: Warm normalization batches already absorbed by this worker, keyed by
+#: (scope key, fingerprint tuple) -- every VC payload of a subprogram
+#: carries the same batch, which need only be decoded once per process.
+_WARM_ABSORBED: set = set()
 
 
 def _typed_package(fp: str, package):
@@ -97,18 +101,36 @@ def _typed_package(fp: str, package):
 def _provers(fp: str, package, subprogram: str, auto_timeout):
     """(AutoProver, InteractiveProver) for one subprogram, reused across
     the VCs a worker discharges for it -- the per-worker analogue of the
-    thread backend's per-group prover reuse."""
+    thread backend's per-group prover reuse.  Both share the worker's
+    process-wide normalization cache (warmed by :func:`_absorb_warm`)."""
     key = (fp, subprogram, auto_timeout)
     pair = _PROVER_CACHE.get(key)
     if pair is None:
+        from ..logic.normcache import default_norm_cache
         from ..prover.auto import AutoProver
         from ..prover.tactics import InteractiveProver
         typed = _typed_package(fp, package)
+        shared = default_norm_cache()
         pair = (AutoProver(typed, subprogram_name=subprogram,
-                           timeout_seconds=auto_timeout),
-                InteractiveProver(typed, subprogram_name=subprogram))
+                           timeout_seconds=auto_timeout, shared=shared),
+                InteractiveProver(typed, subprogram_name=subprogram,
+                                  shared=shared))
         _PROVER_CACHE[key] = pair
     return pair
+
+
+def _absorb_warm(warm_key: str, warm_norms) -> None:
+    """Install a payload's warm normalization batch (parent-side examiner
+    results for one subprogram) into this worker's cache, once."""
+    fps, wire = warm_norms
+    memo_key = (warm_key, fps)
+    if memo_key in _WARM_ABSORBED:
+        return
+    _WARM_ABSORBED.add(memo_key)
+    from ..logic.normcache import default_norm_cache
+    from ..logic.wire import decode_terms
+    terms = decode_terms(wire)
+    default_norm_cache().absorb(warm_key, zip(fps, terms))
 
 
 def _theory_context(original_fp: str, extracted_fp: str,
@@ -167,8 +189,16 @@ class VCPayload(ObligationPayload):
     term: Any                      # repro.logic.terms.Term
     scripts: Tuple[Any, ...] = ()
     auto_timeout: Optional[float] = None
+    #: Optional warm normalization batch: the parent examiner's subterm
+    #: normal forms for this subprogram, as (scope key, (fingerprint
+    #: tuple, wire-encoded terms)).  Absorbed once per worker; purely an
+    #: accelerator -- results are identical without it.
+    warm_key: Optional[str] = None
+    warm_norms: Any = None
 
     def run(self):
+        if self.warm_key is not None and self.warm_norms is not None:
+            _absorb_warm(self.warm_key, self.warm_norms)
         auto, interactive = _provers(self.package_fp, self.package,
                                      self.subprogram, self.auto_timeout)
         result = auto.prove(self.term)

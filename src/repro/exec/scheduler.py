@@ -212,6 +212,7 @@ class ObligationScheduler:
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
+                 cache_memory_entries: Optional[int] = None,
                  telemetry: Optional[Telemetry] = None,
                  timeout_seconds: Optional[float] = None,
                  retries: Union[int, RetryPolicy] = 0,
@@ -232,6 +233,8 @@ class ObligationScheduler:
             self.cache = None
         else:
             self.cache = cache
+        if self.cache is not None and cache_memory_entries is not None:
+            self.cache.set_memory_limit(cache_memory_entries)
         self.telemetry = telemetry if telemetry is not None \
             else default_telemetry()
         if timeout_seconds is not None and timeout_seconds <= 0:

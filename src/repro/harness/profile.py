@@ -1,0 +1,161 @@
+"""Profiling entry point for the proof pipeline's hot paths.
+
+Run as ``python -m repro.harness.profile STAGE [--top N] [--json]``.
+Wraps one pipeline stage in :mod:`cProfile` and prints the top-N
+functions by cumulative time -- the quickest way to see where an
+optimization (DESIGN.md section 13) actually lands.
+
+Stages:
+
+``examine``      VC generation + simplification over the annotated AES
+                 (the rewriter-dominated leg).
+``impl-proof``   the full implementation proof, serial backend (vcgen,
+                 simplify, auto prover, interactive scripts).
+``implication``  the implication proof against the FIPS-197 theory.
+``figure2``      the metrics sweep across all transformation blocks.
+
+``--json`` emits the rows as a machine-readable list instead of the
+pstats table (schema: ``{"stage", "total_seconds", "rows": [{"function",
+"calls", "tottime", "cumtime"}]}``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import sys
+from typing import Callable, Dict
+
+__all__ = ["STAGES", "profile_stage", "main"]
+
+
+def _stage_examine() -> None:
+    from ..aes.annotations import annotated_package
+    from ..vcgen import Examiner
+    Examiner(annotated_package()).examine()
+
+
+def _stage_impl_proof() -> None:
+    from ..aes.annotations import annotated_package
+    from ..aes.proof_scripts import aes_proof_scripts
+    from ..exec import ExecConfig
+    from ..prover import ImplementationProof
+    # Serial backend: keeps every frame in this process so the profile
+    # sees the provers, not a pool round-trip.
+    ImplementationProof(annotated_package(), scripts=aes_proof_scripts(),
+                        exec=ExecConfig(jobs=1, backend="serial")).run()
+
+
+def _stage_implication() -> None:
+    from ..aes.annotations import annotated_package
+    from ..aes.fips197 import fips197_theory
+    from ..exec import ExecConfig
+    from ..extract import extract_specification
+    from ..implication import prove_implication
+    extraction = extract_specification(annotated_package())
+    prove_implication(fips197_theory(), extraction.theory,
+                      exec=ExecConfig(jobs=1, backend="serial"))
+
+
+def _stage_figure2() -> None:
+    from .figures import figure2
+    figure2()
+
+
+STAGES: Dict[str, Callable[[], None]] = {
+    "examine": _stage_examine,
+    "impl-proof": _stage_impl_proof,
+    "implication": _stage_implication,
+    "figure2": _stage_figure2,
+}
+
+
+def profile_stage(stage: str) -> pstats.Stats:
+    """Run ``stage`` under cProfile and return its stats."""
+    try:
+        fn = STAGES[stage]
+    except KeyError:
+        raise ValueError(f"unknown stage {stage!r}; expected one of "
+                         f"{'/'.join(sorted(STAGES))}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    return pstats.Stats(profiler)
+
+
+def _rows(stats: pstats.Stats, top: int):
+    rows = []
+    entries = sorted(stats.stats.items(),
+                     key=lambda item: item[1][3], reverse=True)
+    for (filename, lineno, name), data in entries[:top]:
+        ncalls, _primcalls, tottime, cumtime, _callers = (
+            data[0], data[1], data[2], data[3], data[4])
+        rows.append({
+            "function": f"{filename}:{lineno}({name})",
+            "calls": ncalls,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        })
+    return rows
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    as_json = "--json" in argv
+    top = 25
+    positional = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--json":
+            pass
+        elif arg == "--top" and i + 1 < len(argv):
+            i += 1
+            try:
+                top = int(argv[i])
+            except ValueError:
+                raise SystemExit(f"error: --top expects an integer, "
+                                 f"got {argv[i]!r}")
+        elif arg.startswith("--top="):
+            try:
+                top = int(arg.split("=", 1)[1])
+            except ValueError:
+                raise SystemExit(f"error: --top expects an integer, "
+                                 f"got {arg!r}")
+        elif arg.startswith("--"):
+            raise SystemExit(f"error: unknown flag {arg!r}")
+        else:
+            positional.append(arg)
+        i += 1
+    if top < 1:
+        raise SystemExit(f"error: --top must be >= 1, got {top}")
+    if len(positional) != 1:
+        raise SystemExit(f"usage: python -m repro.harness.profile "
+                         f"{{{'|'.join(sorted(STAGES))}}} [--top N] [--json]")
+    stage = positional[0]
+    try:
+        stats = profile_stage(stage)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if as_json:
+        print(json.dumps({
+            "stage": stage,
+            "total_seconds": round(stats.total_tt, 6),
+            "rows": _rows(stats, top),
+        }, indent=2))
+    else:
+        buffer = io.StringIO()
+        stats.stream = buffer
+        stats.sort_stats("cumulative").print_stats(top)
+        print(f"stage: {stage} ({stats.total_tt:.3f} s total)")
+        print(buffer.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -201,6 +201,7 @@ def main(argv=None) -> int:
     measurements = figure2()
     (out / "figure2.json").write_text(json.dumps(
         [m.__dict__ for m in measurements], indent=2, default=str))
+    impl = implementation_proof_stats(exec=config)   # memoized: same run
     default_telemetry().dump_json(out / "telemetry.json", context={
         "backend": config.backend,
         "jobs": config.jobs,
@@ -208,6 +209,11 @@ def main(argv=None) -> int:
         "retry_policy": config.retries.to_json(),
         "on_error": config.on_error,
         "on_backend_failure": config.on_backend_failure,
+        "rewrite_hot_path": {
+            "index_hits": impl.report.index_hits,
+            "index_skipped_rules": impl.report.index_skipped_rules,
+            "cross_vc_hits": impl.report.cross_vc_hits,
+        },
     })
     return 0
 

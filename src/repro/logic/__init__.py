@@ -12,6 +12,7 @@ from .builders import (
     neg, select, shl, shr, store, sub, var, xor,
 )
 from .measure import dag_size, max_depth, tree_bytes, tree_size
+from .normcache import NormalizationCache, NormScope, default_norm_cache
 from .printer import render, render_full
 from .rewriter import Rewriter, RewriteBudgetExceeded, RewriteStats, Rule
 from .rules import decide_relation, default_rules, interval_of, rule_families
@@ -31,6 +32,7 @@ __all__ = [
     "dag_size", "tree_size", "tree_bytes", "max_depth",
     "render", "render_full", "canonical_text", "fingerprint",
     "Rewriter", "Rule", "RewriteStats", "RewriteBudgetExceeded",
+    "NormalizationCache", "NormScope", "default_norm_cache",
     "default_rules", "rule_families", "interval_of", "decide_relation",
     "substitute", "substitute_simplifying", "rebuild_smart",
     "run_trampoline", "postorder_missing",

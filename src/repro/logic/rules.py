@@ -312,21 +312,32 @@ def _rule_store_select_same(term: Term) -> Optional[Term]:
 def rule_families(hook=None) -> Dict[str, list]:
     """All rules, grouped by family (for the ablation benchmarks).
 
-    ``hook`` supplies type-derived term bounds to the bounds family."""
+    ``hook`` supplies type-derived term bounds to the bounds family.
+    Every rule declares its ``ops`` -- the exact root operators it can
+    fire on (each ``fn`` returns ``None`` for anything else) -- feeding
+    the rewriter's head-op dispatch table."""
     return {
         "bounds": [Rule("interval-relation", "bounds",
-                        _make_interval_rule(hook)),
+                        _make_interval_rule(hook),
+                        ops=frozenset({"lt", "le", "eq"})),
                    Rule("vacuous-forall", "bounds",
-                        _make_vacuous_forall_rule(hook))],
+                        _make_vacuous_forall_rule(hook),
+                        ops=frozenset({"forall"}))],
         "boolean": [
-            Rule("not-relation", "boolean", _rule_not_relation),
-            Rule("absorb", "boolean", _rule_absorb),
-            Rule("implies-self", "boolean", _rule_implies_self),
+            Rule("not-relation", "boolean", _rule_not_relation,
+                 ops=frozenset({"not"})),
+            Rule("absorb", "boolean", _rule_absorb,
+                 ops=frozenset({"and", "or"})),
+            Rule("implies-self", "boolean", _rule_implies_self,
+                 ops=frozenset({"implies"})),
         ],
         "equality": [
-            Rule("eq-literal-contradiction", "equality", _rule_eq_literal_contradiction),
+            Rule("eq-literal-contradiction", "equality",
+                 _rule_eq_literal_contradiction, ops=frozenset({"and"})),
         ],
-        "arrays": [Rule("store-select-same", "arrays", _rule_store_select_same)],
+        "arrays": [Rule("store-select-same", "arrays",
+                        _rule_store_select_same,
+                        ops=frozenset({"store"}))],
     }
 
 

@@ -73,6 +73,12 @@ def render_report(report: MetricsReport) -> str:
                 lines.append(
                     f"  rewrite fixpoints exhausted {v.fixpoint_exhausted} "
                     f"(residues may not be normal forms)")
+            if v.index_hits or v.cross_vc_hits:
+                lines.append(
+                    f"  rewrite hot path           "
+                    f"{v.index_skipped_rules} rule scans skipped "
+                    f"({v.index_hits} indexed lookups), "
+                    f"{v.cross_vc_hits} cross-VC cache hits")
         else:
             lines.append("  VC analysis                INFEASIBLE "
                          "(resources exhausted)")

@@ -33,6 +33,12 @@ class VCMetrics:
     #: Rewrite fixpoints that exhausted their iteration budget; nonzero
     #: means some simplified residues are best-effort, not normal forms.
     fixpoint_exhausted: int = 0
+    #: Hot-path instrumentation (DESIGN.md §13): dispatch-table lookups
+    #: that pruned the rule scan, rules those lookups skipped, and
+    #: subterm normal forms served by the cross-obligation cache.
+    index_hits: int = 0
+    index_skipped_rules: int = 0
+    cross_vc_hits: int = 0
 
     @property
     def generated_mb(self) -> float:
@@ -56,4 +62,7 @@ def vc_metrics(report: ExaminerReport) -> VCMetrics:
         simulated_seconds=report.simulated_seconds,
         wall_seconds=report.wall_seconds,
         fixpoint_exhausted=report.fixpoint_exhausted,
+        index_hits=report.index_hits,
+        index_skipped_rules=report.index_skipped_rules,
+        cross_vc_hits=report.cross_vc_hits,
     )

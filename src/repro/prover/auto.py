@@ -27,7 +27,7 @@ from ..logic import (
     FALSE, TRUE, Term, conj, eq, implies, intc, neg, substitute_simplifying,
     var,
 )
-from ..vcgen.simplifier import Simplifier, TypeBoundHook
+from ..vcgen.simplifier import Simplifier, TypeBoundHook, simplifier_rules_key
 from ..vcgen.translate import TranslationContext, translate_expr
 from ..vcgen.wp import Obligation
 from .congruence import CongruenceClosure
@@ -147,9 +147,18 @@ class AutoProver:
                  instantiation_rounds: int = 2,
                  ground: Optional[GroundEvaluator] = None,
                  timeout_seconds: Optional[float] = None,
-                 hook=None):
+                 hook=None,
+                 shared=None):
+        """``shared`` is an optional :class:`~repro.logic.normcache
+        .NormalizationCache` carrying subterm normal forms across the VCs
+        of a proof session (scoped per rule set, so the prover's extra
+        rules never mix with the plain simplifier's entries).  It is only
+        consulted when the type-bound hook is the canonical one derived
+        from ``(typed, subprogram_name)`` -- a caller-supplied ``hook``
+        changes normal forms in ways the scope key cannot see."""
         self.typed = typed
-        if hook is not None:
+        custom_hook = hook is not None
+        if custom_hook:
             self.hook = hook
         else:
             self.hook = TypeBoundHook(typed, subprogram_name) \
@@ -162,16 +171,40 @@ class AutoProver:
         self.timeout_seconds = timeout_seconds
         self._deadline: Optional[float] = None
         from ..logic import Rewriter, Rule, default_rules
+        self._shared = shared if (not custom_hook and typed is not None
+                                  and subprogram_name) else None
+        scope = None
+        if self._shared is not None:
+            scope = self._shared.scope(simplifier_rules_key(
+                typed, subprogram_name, extra="prover"))
         self._rewriter = Rewriter(
             default_rules(hook=self.hook)
             + [Rule("select-store-split", "arrays-prover",
-                    _rule_select_store_split)])
+                    _rule_select_store_split,
+                    ops=frozenset({"select"}))],
+            shared=scope)
         self._fresh = 0
         # Per-term memo caches: the case-splitting search revisits the same
         # hypothesis terms many times.
         self._cand_cache: Dict[int, list] = {}
         self._apply_cache: Dict[int, list] = {}
         self._inst_cache: Dict[tuple, Term] = {}
+        # Hot-path counters accumulated from the per-VC simplifiers
+        # (each _prove call builds and discards one).
+        self._hotpath = {"index_hits": 0, "index_skipped_rules": 0,
+                         "cross_vc_hits": 0}
+
+    def hotpath_counters(self) -> Dict[str, int]:
+        """Aggregated instrumentation across everything this prover
+        rewrote: its own rewriter plus every per-VC simplifier."""
+        stats = self._rewriter.stats
+        acc = self._hotpath
+        return {
+            "index_hits": acc["index_hits"] + stats.index_hits,
+            "index_skipped_rules": (acc["index_skipped_rules"]
+                                    + stats.index_skipped_rules),
+            "cross_vc_hits": acc["cross_vc_hits"] + stats.cross_vc_hits,
+        }
 
     def _candidates_of(self, terms) -> list:
         out = []
@@ -229,9 +262,14 @@ class AutoProver:
 
     def _prove(self, term: Term) -> ProofResult:
         if self.typed is not None and self.subprogram_name is not None:
-            simplifier = Simplifier(self.typed, self.subprogram_name)
+            simplifier = Simplifier(self.typed, self.subprogram_name,
+                                    shared=self._shared)
             simplified = simplifier.simplify(
                 Obligation(kind="goal", term=term)).simplified
+            acc = self._hotpath
+            acc["index_hits"] += simplifier.index_hits
+            acc["index_skipped_rules"] += simplifier.index_skipped_rules
+            acc["cross_vc_hits"] += simplifier.cross_vc_hits
         else:
             simplified = term
         if simplified.is_true:

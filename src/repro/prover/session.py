@@ -18,7 +18,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..exec import VCPayload, package_fingerprint, vc_obligation
 from ..exec.config import UNSET, ExecConfig, coerce_exec_config
 from ..lang.typecheck import TypedPackage
+from ..logic import NormalizationCache, encode_terms
 from ..vcgen import Examiner, ExaminerLimits, ExaminerReport, VCRecord
+from ..vcgen.simplifier import simplifier_rules_key
 from .auto import AutoProver, ProofResult
 from .tactics import InteractiveProver, ProofScript
 
@@ -140,11 +142,18 @@ class ImplementationProof:
         #: thunk synchronizes on this same instance (a per-call fallback
         #: lock would provide no mutual exclusion at all).
         self._provers_lock = threading.Lock()
+        #: Cross-obligation normalization cache (DESIGN.md §13): one per
+        #: proof session.  The examiner warms it while simplifying, the
+        #: per-VC provers reuse it (serial/thread backends share this
+        #: instance; the process backend ships each subprogram's warm
+        #: entries to workers through the VC payloads).
+        self._norm_cache = NormalizationCache()
 
     def run(self, subprogram_names: Optional[Sequence[str]] = None
             ) -> ImplementationProofResult:
         started = time.perf_counter()
-        examiner = Examiner(self.typed, limits=self.limits)
+        examiner = Examiner(self.typed, limits=self.limits,
+                            shared=self._norm_cache)
         report = examiner.examine(subprogram_names)
 
         package_fp = package_fingerprint(self.typed)
@@ -157,6 +166,7 @@ class ImplementationProof:
         slots: List[Tuple[str, object]] = []
         obligations = []
         vc_records: List[VCRecord] = []
+        warm_cache: Dict[str, tuple] = {}
         for analysis in report.per_subprogram.values():
             for vc in analysis.vcs:
                 if vc.discharged_by_simplifier:
@@ -165,12 +175,15 @@ class ImplementationProof:
                     continue
                 discharge = self._discharger(vc, auto_provers,
                                              interactive_provers)
+                warm_key, warm_norms = self._warm_norms(vc.subprogram,
+                                                        warm_cache)
                 payload = VCPayload(
                     package=self.typed.package, package_fp=package_fp,
                     subprogram=vc.subprogram,
                     term=vc.simplified.simplified,
                     scripts=tuple(self.scripts.get(vc.subprogram, ())),
-                    auto_timeout=self.AUTO_TIMEOUT_SECONDS)
+                    auto_timeout=self.AUTO_TIMEOUT_SECONDS,
+                    warm_key=warm_key, warm_norms=warm_norms)
                 obligations.append(vc_obligation(
                     vc, discharge, package_fp=package_fp, config=config,
                     payload=payload))
@@ -178,6 +191,28 @@ class ImplementationProof:
                 slots.append(("ob", len(obligations) - 1))
 
         results = self.exec.scheduler().run(obligations)
+
+        # Fold prover-side hot-path instrumentation back into the report:
+        # the interesting rewriting (per-VC fresh simplifiers hitting the
+        # cross-obligation cache) happens during discharge, after the
+        # examiner's numbers were taken.  Parent-side provers only -- the
+        # process backend's counters live and die in its workers.
+        for name, prover in auto_provers.items():
+            analysis = report.per_subprogram.get(name)
+            if analysis is None:
+                continue
+            counters = prover.hotpath_counters()
+            analysis.index_hits += counters["index_hits"]
+            analysis.index_skipped_rules += counters["index_skipped_rules"]
+            analysis.cross_vc_hits += counters["cross_vc_hits"]
+        for name, prover in interactive_provers.items():
+            analysis = report.per_subprogram.get(name)
+            if analysis is None:
+                continue
+            counters = prover.auto.hotpath_counters()
+            analysis.index_hits += counters["index_hits"]
+            analysis.index_skipped_rules += counters["index_skipped_rules"]
+            analysis.cross_vc_hits += counters["cross_vc_hits"]
 
         outcomes: List[VCOutcome] = []
         for tag, payload in slots:
@@ -202,6 +237,33 @@ class ImplementationProof:
             outcomes=outcomes,
             wall_seconds=time.perf_counter() - started,
         )
+
+    #: At most this many warm normal forms ship per subprogram: the MRU
+    #: tail of the examiner's entries (the last-converging, largest
+    #: subtrees), keeping payload pickles bounded.
+    WARM_NORMS_LIMIT = 160
+
+    def _warm_norms(self, subprogram: str, memo: Dict[str, tuple]):
+        """``(scope_key, (fingerprints, wire))`` of the examiner-warmed
+        normal forms for one subprogram -- or ``(None, None)`` off the
+        process backend, where every thunk shares the live session cache
+        and shipping would be dead weight.  Computed once per subprogram
+        (the same tuple rides every one of its VC payloads)."""
+        if self.exec.backend != "process":
+            return None, None
+        entry = memo.get(subprogram)
+        if entry is None:
+            key = simplifier_rules_key(self.typed, subprogram)
+            pairs = self._norm_cache.export(key,
+                                            limit=self.WARM_NORMS_LIMIT)
+            if pairs:
+                fps = tuple(fp for fp, _ in pairs)
+                wire = encode_terms([term for _, term in pairs])
+                entry = (key, (fps, wire))
+            else:
+                entry = (None, None)
+            memo[subprogram] = entry
+        return entry
 
     def _prover_config(self) -> str:
         """Cache-key component for everything that shapes a VC's outcome
@@ -228,7 +290,8 @@ class ImplementationProof:
                 if prover is None:
                     prover = AutoProver(
                         self.typed, subprogram_name=vc.subprogram,
-                        timeout_seconds=self.AUTO_TIMEOUT_SECONDS)
+                        timeout_seconds=self.AUTO_TIMEOUT_SECONDS,
+                        shared=self._norm_cache)
                     auto_provers[vc.subprogram] = prover
             result = prover.prove(vc.simplified.simplified)
             if result.proved:
@@ -248,7 +311,8 @@ class ImplementationProof:
             prover = interactive_provers.get(vc.subprogram)
             if prover is None:
                 prover = InteractiveProver(self.typed,
-                                           subprogram_name=vc.subprogram)
+                                           subprogram_name=vc.subprogram,
+                                           shared=self._norm_cache)
                 interactive_provers[vc.subprogram] = prover
         for script in scripts:
             result = prover.run_script(vc.simplified.simplified, script)

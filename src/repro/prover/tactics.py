@@ -179,10 +179,12 @@ class InteractiveProver:
 
     def __init__(self, typed: TypedPackage,
                  subprogram_name: Optional[str] = None,
-                 subgoal_timeout: float = 2.0):
+                 subgoal_timeout: float = 2.0,
+                 shared=None):
         self.typed = typed
         self.auto = AutoProver(typed, subprogram_name=subprogram_name,
-                               timeout_seconds=subgoal_timeout)
+                               timeout_seconds=subgoal_timeout,
+                               shared=shared)
         self._symbolic = SymbolicExecutor(typed)
 
     def axiom_named(self, name: str):

@@ -31,7 +31,8 @@ from ..logic.rules import Interval
 from .translate import type_bounds
 from .wp import Obligation
 
-__all__ = ["TypeBoundHook", "Simplifier", "SimplifiedVC"]
+__all__ = ["TypeBoundHook", "Simplifier", "SimplifiedVC",
+           "simplifier_rules_key"]
 
 
 def _base_var_name(name: str) -> str:
@@ -96,17 +97,41 @@ class SimplifiedVC:
     work: int
 
 
+def simplifier_rules_key(typed: TypedPackage, subprogram_name: str,
+                         exclude_families: Tuple[str, ...] = (),
+                         extra: str = "") -> str:
+    """Cross-obligation cache scope for one subprogram's rule set.
+
+    Everything that shapes a normal form is in the key: the package text
+    (the type-bound hook reads declared ranges from it), the subprogram
+    (each has its own hook context), the disabled rule families, and an
+    ``extra`` tag for callers that load additional rules (the prover).
+    """
+    from ..exec.cache import package_fingerprint
+    return "|".join([package_fingerprint(typed), subprogram_name,
+                     ",".join(sorted(exclude_families)), extra])
+
+
 class Simplifier:
     """Simplifies a batch of VCs for one subprogram."""
 
     def __init__(self, typed: TypedPackage, subprogram_name: str,
                  exclude_families: Tuple[str, ...] = (),
-                 max_work: Optional[int] = None):
+                 max_work: Optional[int] = None,
+                 shared=None):
+        """``shared`` is an optional :class:`~repro.logic.normcache
+        .NormalizationCache`: normal forms of subterms shared between this
+        subprogram's VCs are then reused across ``Simplifier`` instances
+        (the prover builds one per VC) instead of recomputed."""
         self.hook = TypeBoundHook(typed, subprogram_name)
         rules = default_rules(exclude_families=exclude_families,
                               hook=self.hook)
         self.exclude_families = exclude_families
-        self.rewriter = Rewriter(rules, max_work=max_work)
+        scope = None
+        if shared is not None:
+            scope = shared.scope(simplifier_rules_key(
+                typed, subprogram_name, exclude_families))
+        self.rewriter = Rewriter(rules, max_work=max_work, shared=scope)
 
     @property
     def work(self) -> int:
@@ -117,6 +142,21 @@ class Simplifier:
         """Per-node rewrite fixpoints that gave up before converging (their
         results may not be normal forms; surfaced in the examiner report)."""
         return self.rewriter.stats.fixpoint_exhausted
+
+    @property
+    def index_hits(self) -> int:
+        """Dispatch-table consultations that pruned the rule scan."""
+        return self.rewriter.stats.index_hits
+
+    @property
+    def index_skipped_rules(self) -> int:
+        """Rules never scanned thanks to head-op indexing."""
+        return self.rewriter.stats.index_skipped_rules
+
+    @property
+    def cross_vc_hits(self) -> int:
+        """Subterm normal forms served by the cross-obligation cache."""
+        return self.rewriter.stats.cross_vc_hits
 
     def simplify(self, obligation: Obligation) -> SimplifiedVC:
         before = self.rewriter.stats.work

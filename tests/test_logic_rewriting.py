@@ -1,12 +1,16 @@
-"""Rewriter, rules, printer and measurement unit tests."""
+"""Rewriter, rules, printer and measurement unit tests, plus the
+head-op-indexing differential gate (DESIGN.md section 13): indexed and
+linear-scan rewriting must be bit-identical on the full AES VC corpus."""
+
+from functools import lru_cache
 
 import pytest
 
 from repro.logic import (
-    FALSE, TRUE, Rewriter, RewriteBudgetExceeded, add, band, conj,
-    decide_relation, default_rules, disj, eq, forall, implies, intc,
-    interval_of, ite, le, lt, mk, modi, mul, neg, render, render_full,
-    rule_families, select, shr, store, sub, var, xor,
+    FALSE, TRUE, NormalizationCache, Rewriter, RewriteBudgetExceeded, add,
+    band, conj, decide_relation, default_rules, disj, eq, fingerprint,
+    forall, implies, intc, interval_of, ite, le, lt, mk, modi, mul, neg,
+    render, render_full, rule_families, select, shr, store, sub, var, xor,
 )
 
 
@@ -102,3 +106,135 @@ class TestRender:
         for _ in range(5000):  # deeper than the default recursion limit
             t = mk("not", (t,))  # raw: the builder would fold double negation
         assert render(t, max_chars=100).endswith("…")
+
+
+@lru_cache(maxsize=1)
+def _aes_corpus():
+    """The full refactored-AES VC corpus: (typed, [(subprogram, terms)])."""
+    from repro.aes import refactored_package
+    from repro.vcgen import generate_obligations
+
+    typed = refactored_package()
+    corpus = []
+    for sp in typed.package.subprograms:
+        obls = generate_obligations(typed, typed.signatures[sp.name])
+        if obls:
+            corpus.append((sp.name, [o.term for o in obls]))
+    return typed, corpus
+
+
+class TestHeadOpIndexing:
+    """The differential gate: head-op dispatch is a pure pruning of rules
+    that could not have fired, so it must be *invisible* -- identical
+    normal forms, identical memo tables, identical RewriteStats."""
+
+    def test_every_rule_family_declares_ops(self):
+        for family, rules in rule_families().items():
+            for rule in rules:
+                assert rule.ops, \
+                    f"{family}/{rule.name} must declare its root operators"
+
+    def test_env_flag_disables_indexing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REWRITE_INDEX", "0")
+        assert not Rewriter(default_rules()).indexed
+        monkeypatch.setenv("REPRO_REWRITE_INDEX", "1")
+        assert Rewriter(default_rules()).indexed
+        # an explicit argument beats the environment
+        monkeypatch.setenv("REPRO_REWRITE_INDEX", "0")
+        assert Rewriter(default_rules(), index=True).indexed
+
+    def test_full_aes_corpus_indexed_identical_to_linear(self):
+        from repro.vcgen.simplifier import TypeBoundHook
+
+        typed, corpus = _aes_corpus()
+        total_hits = total_skipped = 0
+        for name, terms in corpus:
+            hook = TypeBoundHook(typed, name)
+            lin = Rewriter(default_rules(hook=hook), index=False)
+            idx = Rewriter(default_rules(hook=hook), index=True)
+            ref = [lin.normalize(t) for t in terms]
+            got = [idx.normalize(t) for t in terms]
+            assert all(a is b for a, b in zip(ref, got))
+            assert lin._memo == idx._memo
+            assert lin.stats == idx.stats          # nodes/rewrites/work
+            assert lin.stats.work == idx.stats.work
+            assert lin.stats.index_hits == 0
+            total_hits += idx.stats.index_hits
+            total_skipped += idx.stats.index_skipped_rules
+        # the gate is vacuous unless indexing actually pruned something
+        assert total_hits > 0 and total_skipped > 0
+
+    def test_full_aes_corpus_shared_cache_identical_normal_forms(self):
+        """Per-VC fresh rewriters (the prover's protocol) with the
+        cross-obligation cache: same normal forms as the linear scan."""
+        from repro.vcgen.simplifier import TypeBoundHook
+
+        typed, corpus = _aes_corpus()
+        cache = NormalizationCache()
+        cross_hits = 0
+        for name, terms in corpus:
+            hook = TypeBoundHook(typed, name)
+            scope = cache.scope(f"gate|{name}|")
+            for t in terms:
+                ref = Rewriter(default_rules(hook=hook),
+                               index=False).normalize(t)
+                rw = Rewriter(default_rules(hook=hook), shared=scope)
+                assert rw.normalize(t) is ref
+                cross_hits += rw.stats.cross_vc_hits
+        assert cross_hits > 0
+        assert cache.hits == cross_hits
+        assert len(cache) > 0
+
+    def test_examiner_verdicts_identical_without_indexing(self, monkeypatch):
+        """Whole-pipeline differential: examination (vcgen + simplify)
+        with indexing disabled via REPRO_REWRITE_INDEX must reach the
+        same discharge verdicts and the same simplified normal forms
+        for every AES VC."""
+        from repro.aes.annotations import annotated_package
+        from repro.vcgen import Examiner
+
+        def signature(report):
+            return [
+                (a.name, vc.name, vc.kind, vc.discharged_by_simplifier,
+                 fingerprint(vc.simplified.simplified))
+                for a in report.per_subprogram.values() for vc in a.vcs
+            ]
+
+        typed = annotated_package()
+        indexed = Examiner(typed).examine()
+        monkeypatch.setenv("REPRO_REWRITE_INDEX", "0")
+        linear = Examiner(typed).examine()
+        assert signature(indexed) == signature(linear)
+        assert indexed.discharged_count == linear.discharged_count
+        assert indexed.work_units == linear.work_units
+        assert indexed.index_hits > 0
+        assert linear.index_hits == 0
+
+    def test_cross_backend_verdicts_identical(self, monkeypatch):
+        """Serial, thread and process backends (indexed, with warm-norm
+        shipping on the process path) and the linear-scan serial
+        reference all produce identical per-VC verdicts."""
+        from repro.exec import ExecConfig
+        from repro.prover import ImplementationProof
+        from tests.test_exec_cache import small_package
+
+        def run(backend, jobs=2):
+            return ImplementationProof(
+                small_package(),
+                exec=ExecConfig(jobs=jobs, backend=backend,
+                                cache=False)).run()
+
+        def signature(result):
+            return [(o.vc.subprogram, o.vc.name, o.vc.kind, o.stage,
+                     o.result.proved if o.result else None)
+                    for o in result.outcomes]
+
+        serial = run("serial", jobs=1)
+        thread = run("thread")
+        process = run("process")
+        monkeypatch.setenv("REPRO_REWRITE_INDEX", "0")
+        linear = run("serial", jobs=1)
+        assert signature(thread) == signature(serial)
+        assert signature(process) == signature(serial)
+        assert signature(linear) == signature(serial)
+        assert linear.auto_percent == serial.auto_percent
