@@ -27,7 +27,11 @@ The package implements the paper's entire stack from scratch in Python:
 * :mod:`repro.harness` — regenerates every table and figure of the paper;
 * :mod:`repro.exec` — the obligation execution layer: scheduling over
   serial/thread/process backends, content-addressed result caching, and
-  structured telemetry, configured through :class:`~repro.exec.ExecConfig`.
+  structured telemetry, configured through :class:`~repro.exec.ExecConfig`;
+* :mod:`repro.serve` — verification-as-a-service: an asyncio daemon
+  (``python -m repro.serve``) with a durable obligation queue, two
+  admission-controlled priority lanes, multi-tenant warm caches, and
+  live per-VC event streaming over a line-delimited JSON protocol.
 
 Quickstart::
 
@@ -45,11 +49,19 @@ Quickstart::
 from .core import (
     EchoResult, EchoVerifier, MetricsGate, RefactoringProcess, verify_aes,
 )
-from .exec import ExecConfig, ResultCache, RetryPolicy, Telemetry
+from .exec import (
+    TERMINAL_EVENTS, EventSubscription, ExecConfig, ObligationEvent,
+    ResultCache, RetryPolicy, Telemetry, default_telemetry,
+)
 
 __version__ = "1.0.0"
 
 __all__ = ["EchoVerifier", "EchoResult", "MetricsGate",
            "RefactoringProcess", "verify_aes",
            "ExecConfig", "ResultCache", "RetryPolicy", "Telemetry",
+           # the event-subscription API (DESIGN.md §14 taxonomy table):
+           # subscribe via Telemetry.subscribe, observe ObligationEvent,
+           # use TERMINAL_EVENTS for end-of-life accounting.
+           "ObligationEvent", "EventSubscription", "TERMINAL_EVENTS",
+           "default_telemetry",
            "__version__"]

@@ -332,13 +332,19 @@ class AESPipeline:
     the program version after each block (block 0 = original)."""
 
     def __init__(self, check: str = "differential", trials: int = 6,
-                 seed: int = 20090701):
+                 seed: int = 20090701, exec=None):
+        """``exec`` optionally carries an :class:`~repro.exec.ExecConfig`
+        down to the :class:`~repro.refactor.engine.RefactoringEngine`, so
+        per-block equivalence trials run on the configured scheduler
+        backend and record into the configured telemetry (the serve
+        layer streams them to clients this way)."""
         self.engine = RefactoringEngine(
             parse_package(optimized_source()),
             observables=["Cipher", "Inv_Cipher"],
             check=check, trials=trials, seed=seed,
             samplers={"Cipher": cipher_sampler,
                       "Inv_Cipher": cipher_sampler},
+            exec=exec,
         )
 
     def run(self, upto: int = 14,

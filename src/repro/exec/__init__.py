@@ -19,12 +19,13 @@ Callers configure all of this through one value object,
 parameter of every proof entry point.
 """
 
+from .atomicio import atomic_write_json, atomic_write_text
 from .cache import (
     ResultCache, default_cache, make_key, package_fingerprint,
     theory_fingerprint,
 )
 from .config import ExecConfig, coerce_exec_config
-from .events import ObligationEvent
+from .events import TERMINAL_EVENTS, EventSubscription, ObligationEvent
 from .retry import RetryPolicy
 from .obligation import (
     EQUIV_TRIAL, LEMMA, VC, Obligation, equiv_trial_obligation,
@@ -37,13 +38,15 @@ from .payload import (
 from .scheduler import (
     BACKENDS, BackendUnusableError, ObligationOutcome, ObligationScheduler,
 )
-from .telemetry import ExecStats, Telemetry, default_telemetry
+from .telemetry import ExecStats, Telemetry, default_telemetry, percentile
 
 __all__ = [
     "Obligation", "ObligationOutcome", "ObligationScheduler", "BACKENDS",
     "BackendUnusableError",
     "ExecConfig", "RetryPolicy", "coerce_exec_config",
-    "ObligationEvent", "ExecStats", "Telemetry", "default_telemetry",
+    "ObligationEvent", "EventSubscription", "TERMINAL_EVENTS",
+    "ExecStats", "Telemetry", "default_telemetry", "percentile",
+    "atomic_write_text", "atomic_write_json",
     "ResultCache", "default_cache", "make_key",
     "package_fingerprint", "theory_fingerprint",
     "vc_obligation", "equiv_trial_obligation", "lemma_obligation",

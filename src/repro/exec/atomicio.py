@@ -1,0 +1,54 @@
+"""Atomic file publication for result artifacts.
+
+Every artifact the system leaves behind for other processes --
+``results/telemetry.json``, the harness report, the serve layer's journal
+checkpoints and result records -- must never be observable half-written:
+a crashed writer or a concurrent reader would otherwise see truncated
+JSON and mistake corruption for data.  The recipe is the standard one the
+result cache already uses internally (``mkstemp`` in the destination
+directory, write, flush + fsync, ``os.replace``): readers see either the
+complete old file or the complete new file, nothing in between, on any
+POSIX filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> None:
+    """Publish ``text`` at ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the destination directory so the final rename
+    never crosses a filesystem boundary; it is fsynced before the rename
+    so a crash immediately after publication cannot surface an empty
+    file.  On any failure the temp file is removed and the original
+    ``path`` (if it existed) is left untouched.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(target.parent),
+                               prefix=target.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path, payload: Any, indent: int = 2) -> None:
+    """:func:`atomic_write_text` of ``json.dumps(payload)``."""
+    atomic_write_text(path, json.dumps(payload, indent=indent))

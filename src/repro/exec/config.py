@@ -127,6 +127,46 @@ class ExecConfig:
         per-run telemetry push it down to sub-components this way)."""
         return dataclasses.replace(self, telemetry=telemetry)
 
+    # -- wire form ----------------------------------------------------------
+
+    #: Fields that cross a JSON boundary (the serve protocol, the durable
+    #: request journal).  ``cache`` and ``telemetry`` are deliberately
+    #: absent: they are live objects owned by the executing side -- a
+    #: remote client must never be able to name another tenant's cache.
+    JSON_FIELDS = ("jobs", "backend", "timeout_seconds", "retries",
+                   "on_error", "on_backend_failure", "cache_memory_entries")
+
+    def to_json(self) -> dict:
+        """The JSON-portable fields of this config (see
+        :attr:`JSON_FIELDS`; ``retries`` dumps as the policy's dict)."""
+        out = {}
+        for name in self.JSON_FIELDS:
+            value = getattr(self, name)
+            out[name] = value.to_json() if name == "retries" else value
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ExecConfig":
+        """Rebuild a config from :meth:`to_json` output (or a hand-written
+        subset).  Unknown keys are rejected -- in particular ``cache`` and
+        ``telemetry``, which never travel -- and field validation is the
+        constructor's own (``ValueError`` on bad values)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"exec config must be a JSON object, "
+                             f"got {type(data).__name__}")
+        unknown = sorted(set(data) - set(cls.JSON_FIELDS))
+        if unknown:
+            raise ValueError(f"unknown exec config keys: {unknown} "
+                             f"(allowed: {sorted(cls.JSON_FIELDS)})")
+        kwargs = dict(data)
+        retries = kwargs.get("retries")
+        if isinstance(retries, dict):
+            try:
+                kwargs["retries"] = RetryPolicy(**retries)
+            except TypeError as exc:
+                raise ValueError(f"bad retries policy: {exc}")
+        return cls(**kwargs)
+
     @property
     def effective_serial(self) -> bool:
         """True when obligations are guaranteed to run inline, in order,

@@ -21,14 +21,24 @@ Fault-tolerance events extend the life cycle (DESIGN.md §12):
 * ``WORKER_ABANDONED`` -- pool shutdown left an unresponsive worker
   behind (``kind='exec'``; the obligation itself was already recorded
   ``timed_out``).
+
+Live subscription: a :class:`~repro.exec.telemetry.Telemetry` is not only
+a log to post-process after the run -- callers can attach a callback with
+``Telemetry.subscribe`` and observe every event as it is recorded.  The
+returned :class:`EventSubscription` detaches the callback on ``close()``
+(or on leaving its ``with`` block); the serve layer
+(:mod:`repro.serve`) bridges obligation events to connected clients this
+way.  The full taxonomy is tabulated in DESIGN.md §14.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import asdict, dataclass
+from typing import Callable, Optional
 
 __all__ = [
-    "ObligationEvent",
+    "ObligationEvent", "EventSubscription",
     "SUBMITTED", "STARTED", "FINISHED", "CACHED", "TIMED_OUT", "ERRORED",
     "RETRIED", "SKIPPED", "CRASHED", "QUARANTINED", "DEGRADED",
     "RETRIED_OK", "WORKER_ABANDONED", "TERMINAL_EVENTS",
@@ -75,3 +85,60 @@ class ObligationEvent:
 
     def to_json(self) -> dict:
         return asdict(self)
+
+
+class EventSubscription:
+    """A live feed of :class:`ObligationEvent` attached to one
+    :class:`~repro.exec.telemetry.Telemetry`.
+
+    Obtained from ``Telemetry.subscribe(callback)``.  The callback runs
+    synchronously on whichever thread records the event (scheduler
+    worker threads included), *after* the telemetry's internal lock is
+    released -- it must be fast and must not call back into the same
+    telemetry's ``record``.  A callback that raises is detached
+    immediately (a broken subscriber must not take the proof run down
+    with it); the offending exception is kept on :attr:`error` so the
+    subscriber's owner can notice the feed died rather than silently
+    losing events.
+
+    ``close()`` detaches idempotently; the instance is also a context
+    manager (``with telemetry.subscribe(cb): ...``).
+    """
+
+    __slots__ = ("_callback", "_detach", "_lock", "error")
+
+    def __init__(self, callback: Callable[[ObligationEvent], None],
+                 detach: Callable[["EventSubscription"], None]):
+        self._callback = callback
+        self._detach = detach
+        self._lock = threading.Lock()
+        #: The exception that killed the feed, if any (None while live).
+        self.error: Optional[BaseException] = None
+
+    @property
+    def active(self) -> bool:
+        return self._callback is not None
+
+    def deliver(self, event: ObligationEvent) -> None:
+        """Invoke the callback (telemetry-side; not for external use)."""
+        callback = self._callback
+        if callback is None:
+            return
+        try:
+            callback(event)
+        except Exception as exc:   # noqa: BLE001 - subscriber fault boundary
+            self.error = exc
+            self.close()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._callback is None:
+                return
+            self._callback = None
+        self._detach(self)
+
+    def __enter__(self) -> "EventSubscription":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -23,13 +23,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .atomicio import atomic_write_text
 from .events import (
     CACHED, CRASHED, DEGRADED, ERRORED, FINISHED, QUARANTINED, RETRIED,
     RETRIED_OK, SKIPPED, STARTED, SUBMITTED, TERMINAL_EVENTS, TIMED_OUT,
-    WORKER_ABANDONED, ObligationEvent,
+    WORKER_ABANDONED, EventSubscription, ObligationEvent,
 )
 
-__all__ = ["ExecStats", "Telemetry", "default_telemetry"]
+__all__ = ["ExecStats", "Telemetry", "default_telemetry", "percentile"]
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -47,6 +48,17 @@ def _percentile(sorted_values: List[float], q: float) -> float:
     n = len(sorted_values)
     rank = math.ceil(q * n - 1e-9)
     return sorted_values[max(0, min(n - 1, rank - 1))]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an arbitrary sample (0.0 when empty).
+
+    The public face of the deterministic percentile the exec stats use,
+    for callers aggregating their own latency samples (the serve layer's
+    per-lane request latencies); sorts a copy, so the input order is
+    irrelevant and unchanged.
+    """
+    return _percentile(sorted(values), q)
 
 
 @dataclass
@@ -161,6 +173,7 @@ class Telemetry:
         self._events: List[ObligationEvent] = []
         self._depth = 0
         self._max_depth = 0
+        self._subscribers: List[EventSubscription] = []
 
     # -- recording ----------------------------------------------------------
 
@@ -177,7 +190,38 @@ class Telemetry:
                 t=time.perf_counter() - self._epoch,
                 wall=wall, queue_depth=self._depth, detail=detail)
             self._events.append(ev)
-            return ev
+            subscribers = list(self._subscribers) if self._subscribers \
+                else None
+        # Deliver outside the lock: a subscriber that blocks (or calls
+        # back into this telemetry's readers) must not deadlock recording
+        # threads.  Events from concurrent recorders may therefore reach
+        # a subscriber slightly out of log order; the authoritative order
+        # is the log's.
+        if subscribers:
+            for subscription in subscribers:
+                subscription.deliver(ev)
+        return ev
+
+    # -- live subscription --------------------------------------------------
+
+    def subscribe(self, callback) -> EventSubscription:
+        """Attach ``callback(event)`` to every future :meth:`record`.
+
+        Returns an :class:`~repro.exec.events.EventSubscription`; close
+        it (or use it as a context manager) to detach.  See the class
+        docs for the delivery contract (synchronous, recorder-thread,
+        raising detaches)."""
+        subscription = EventSubscription(callback, self._unsubscribe)
+        with self._lock:
+            self._subscribers.append(subscription)
+        return subscription
+
+    def _unsubscribe(self, subscription: EventSubscription) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscription)
+            except ValueError:
+                pass   # already detached
 
     # -- reading ------------------------------------------------------------
 
@@ -246,8 +290,10 @@ class Telemetry:
         return out
 
     def dump_json(self, path, context: Optional[dict] = None) -> None:
-        from pathlib import Path
-        Path(path).write_text(json.dumps(self.to_json(context), indent=2))
+        """Write the JSON dump atomically (temp file + ``os.replace``):
+        a crashed or concurrent run can never leave ``telemetry.json``
+        truncated -- readers see the previous complete dump or this one."""
+        atomic_write_text(path, json.dumps(self.to_json(context), indent=2))
 
 
 _DEFAULT = Telemetry()

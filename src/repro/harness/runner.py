@@ -17,7 +17,8 @@ import time
 from pathlib import Path
 from typing import Optional
 
-from ..exec import BACKENDS, ExecConfig, RetryPolicy, default_telemetry
+from ..exec import (BACKENDS, ExecConfig, RetryPolicy, atomic_write_text,
+                    default_telemetry)
 from .figures import figure2, render_figure2
 from .tables import (
     defect_tables, implementation_proof_stats, implication_proof_stats,
@@ -197,9 +198,11 @@ def main(argv=None) -> int:
     print(report)
     out = Path("results")
     out.mkdir(exist_ok=True)
-    (out / "report.md").write_text(report)
+    # Atomic publication: a reader (or a crash) mid-run never sees a
+    # truncated report next to a fresh figure.
+    atomic_write_text(out / "report.md", report)
     measurements = figure2()
-    (out / "figure2.json").write_text(json.dumps(
+    atomic_write_text(out / "figure2.json", json.dumps(
         [m.__dict__ for m in measurements], indent=2, default=str))
     impl = implementation_proof_stats(exec=config)   # memoized: same run
     default_telemetry().dump_json(out / "telemetry.json", context={

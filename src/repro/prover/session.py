@@ -121,6 +121,7 @@ class ImplementationProof:
                  limits: Optional[ExaminerLimits] = None,
                  scripts: Optional[Dict[str, Sequence[ProofScript]]] = None,
                  exec: Optional[ExecConfig] = None,
+                 norm_cache: Optional[NormalizationCache] = None,
                  jobs=UNSET,
                  cache=UNSET,
                  telemetry=UNSET,
@@ -130,7 +131,11 @@ class ImplementationProof:
         obligation scheduler (backend, jobs, cache, telemetry, per-VC
         timeout -- overruns map to ``undischarged``); the bare
         ``jobs``/``cache``/``telemetry``/``obligation_timeout`` keywords
-        are deprecated shims for it."""
+        are deprecated shims for it.  ``norm_cache`` optionally supplies a
+        caller-owned :class:`~repro.logic.NormalizationCache` so warm
+        normal forms survive beyond this session (the serve layer keeps
+        one per tenant namespace across requests); by default the session
+        owns a fresh one, the historical behaviour."""
         self.typed = typed
         self.limits = limits
         self.scripts = scripts or {}
@@ -143,11 +148,15 @@ class ImplementationProof:
         #: lock would provide no mutual exclusion at all).
         self._provers_lock = threading.Lock()
         #: Cross-obligation normalization cache (DESIGN.md §13): one per
-        #: proof session.  The examiner warms it while simplifying, the
-        #: per-VC provers reuse it (serial/thread backends share this
-        #: instance; the process backend ships each subprogram's warm
-        #: entries to workers through the VC payloads).
-        self._norm_cache = NormalizationCache()
+        #: proof session unless the caller shares one.  The examiner warms
+        #: it while simplifying, the per-VC provers reuse it
+        #: (serial/thread backends share this instance; the process
+        #: backend ships each subprogram's warm entries to workers through
+        #: the VC payloads).  Keys are fingerprint-scoped
+        #: (``simplifier_rules_key``), so sharing across sessions is sound
+        #: for any mix of packages.
+        self._norm_cache = norm_cache if norm_cache is not None \
+            else NormalizationCache()
 
     def run(self, subprogram_names: Optional[Sequence[str]] = None
             ) -> ImplementationProofResult:

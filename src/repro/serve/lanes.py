@@ -1,0 +1,143 @@
+"""Admission control: two priority lanes with bounded depth and
+priority dispatch.
+
+The service owns one :class:`LaneBoard`.  Admission (``admit``) is
+synchronous and bounded: a lane whose pending depth has reached
+``max_queue`` rejects with :class:`QueueFull`, which the protocol layer
+renders as an ``error`` reply with code ``backpressure`` -- the client
+is told to retry rather than the daemon buffering unboundedly.  Replayed
+journal items bypass the bound (they were admitted before the restart;
+re-admission must not drop durable work).
+
+Dispatch (``next_item``) is what makes ``interactive`` preempt ``bulk``:
+every worker asks for the highest-priority lane that has both pending
+work *and* free capacity, so an interactive examiner query never waits
+behind queued bulk corpus proofs -- at worst it waits for one in-flight
+request of its own lane.  Per-lane capacity (the ``--lanes`` worker
+counts) caps how many requests of each lane run concurrently; a lane
+with capacity 0 is admit-only (its work stays queued -- used by drain
+and in tests to freeze a lane).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Dict, Optional, Tuple
+
+from .journal import QueueItem
+from .protocol import LANE_PRIORITY, LANES
+
+__all__ = ["QueueFull", "LaneBoard"]
+
+
+class QueueFull(Exception):
+    """Admission rejected: the lane's pending queue is at its bound."""
+
+    def __init__(self, lane: str, depth: int, max_queue: int):
+        super().__init__(f"lane {lane!r} queue full "
+                         f"({depth}/{max_queue} pending)")
+        self.lane = lane
+        self.depth = depth
+        self.max_queue = max_queue
+
+
+class LaneBoard:
+    """Bounded per-lane FIFO queues + priority dispatch with per-lane
+    concurrency caps.  Single-event-loop discipline: every method is
+    called from the service's loop (admission and dispatch never race
+    across threads)."""
+
+    def __init__(self, capacity: Dict[str, int], max_queue: int):
+        assert set(capacity) <= set(LANES), capacity
+        self.capacity = {lane: int(capacity.get(lane, 0)) for lane in LANES}
+        self.max_queue = max_queue
+        self._pending: Dict[str, "deque[QueueItem]"] = \
+            {lane: deque() for lane in LANES}
+        self._running: Dict[str, int] = {lane: 0 for lane in LANES}
+        self._served: Dict[str, int] = {lane: 0 for lane in LANES}
+        self._max_depth: Dict[str, int] = {lane: 0 for lane in LANES}
+        self._wakeup = asyncio.Event()
+        self._closed = False
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, item: QueueItem, force: bool = False) -> int:
+        """Enqueue; returns the lane depth after admission.  ``force``
+        bypasses the depth bound (journal replay)."""
+        lane = item.lane
+        depth = len(self._pending[lane])
+        if not force and depth >= self.max_queue:
+            raise QueueFull(lane, depth, self.max_queue)
+        self._pending[lane].append(item)
+        depth += 1
+        self._max_depth[lane] = max(self._max_depth[lane], depth)
+        self._wakeup.set()
+        return depth
+
+    def retract(self, item: QueueItem) -> None:
+        """Undo an admission that could not be journaled (best-effort:
+        the item is simply removed from its pending queue again)."""
+        try:
+            self._pending[item.lane].remove(item)
+        except ValueError:
+            pass
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _pick(self) -> Optional[Tuple[str, QueueItem]]:
+        for lane in LANE_PRIORITY:
+            if self._pending[lane] and \
+                    self._running[lane] < self.capacity[lane]:
+                return lane, self._pending[lane].popleft()
+        return None
+
+    async def next_item(self) -> Optional[Tuple[str, QueueItem]]:
+        """The next dispatchable item, preferring high-priority lanes;
+        blocks until one exists.  Returns None once closed and drained of
+        dispatchable work (worker shutdown)."""
+        while True:
+            picked = self._pick()
+            if picked is not None:
+                lane, item = picked
+                self._running[lane] += 1
+                return lane, item
+            if self._closed:
+                return None
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
+    def task_done(self, lane: str) -> None:
+        self._running[lane] -= 1
+        self._served[lane] += 1
+        self._wakeup.set()   # capacity freed: re-check pending work
+
+    def close(self) -> None:
+        """Stop dispatching: workers drain out of :meth:`next_item`.
+        Pending items stay queued (and journaled -- they replay on the
+        next start)."""
+        self._closed = True
+        self._wakeup.set()
+
+    # -- introspection -------------------------------------------------------
+
+    def depth(self, lane: str) -> int:
+        return len(self._pending[lane])
+
+    def running(self, lane: str) -> int:
+        return self._running[lane]
+
+    def pending_ids(self) -> Dict[str, list]:
+        return {lane: [item.request_id for item in self._pending[lane]]
+                for lane in LANES}
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Per-lane metrics for ``status`` replies and telemetry dumps."""
+        return {lane: {
+            "workers": self.capacity[lane],
+            "depth": len(self._pending[lane]),
+            "running": self._running[lane],
+            "served": self._served[lane],
+            "max_depth": self._max_depth[lane],
+            "max_queue": self.max_queue,
+        } for lane in LANES}
