@@ -53,6 +53,7 @@ from .exec import (
     TERMINAL_EVENTS, EventSubscription, ExecConfig, ObligationEvent,
     ResultCache, RetryPolicy, Telemetry, default_telemetry,
 )
+from .incr import IncrementalStats, ManifestStore
 
 __version__ = "1.0.0"
 
@@ -64,4 +65,6 @@ __all__ = ["EchoVerifier", "EchoResult", "MetricsGate",
            # use TERMINAL_EVENTS for end-of-life accounting.
            "ObligationEvent", "EventSubscription", "TERMINAL_EVENTS",
            "default_telemetry",
+           # incremental re-verification (DESIGN.md §15)
+           "ManifestStore", "IncrementalStats",
            "__version__"]

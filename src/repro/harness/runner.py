@@ -3,15 +3,22 @@ evaluation and writes a combined report (used to produce EXPERIMENTS.md).
 
 Run as ``python -m repro.harness.runner [--quick] [--jobs N]
 [--backend {serial,thread,process}] [--timeout S] [--retries N]
-[--max-retry-delay S] [--on-backend-failure {raise,degrade}]``.  The
-flags map onto one :class:`~repro.exec.ExecConfig` driving the proof
-legs; the execution configuration (including the retry policy and any
-backend degradations) is recorded in ``results/telemetry.json``.
+[--max-retry-delay S] [--on-backend-failure {raise,degrade}]
+[--incremental] [--manifest-dir DIR]``.  The flags map onto one
+:class:`~repro.exec.ExecConfig` driving the proof legs; the execution
+configuration (including the retry policy and any backend degradations)
+is recorded in ``results/telemetry.json``.  ``--incremental`` replays
+unchanged-cone verdicts from the previous run's manifest
+(``results/manifest`` by default; pair with ``REPRO_CACHE_DIR`` so the
+result cache survives across processes) and surfaces the
+``incr_replayed`` / ``incr_rechecked`` / ``incr_manifest_miss``
+counters in the telemetry context.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -31,7 +38,9 @@ __all__ = ["run_all", "main"]
 def run_all(upto: int = 14, quick: bool = False, jobs: int = 1,
             backend: str = "thread",
             timeout: Optional[float] = None,
-            exec: Optional[ExecConfig] = None) -> str:
+            exec: Optional[ExecConfig] = None,
+            manifest_dir: Optional[str] = None,
+            incremental: bool = False) -> str:
     config = exec if exec is not None else \
         ExecConfig(jobs=jobs, backend=backend, timeout_seconds=timeout)
     sections = []
@@ -49,10 +58,18 @@ def run_all(upto: int = 14, quick: bool = False, jobs: int = 1,
     sections.append("```")
 
     sections.append("## Implementation proof (paper 6.2.3)")
-    impl = implementation_proof_stats(exec=config)
+    impl = implementation_proof_stats(exec=config,
+                                      manifest_dir=manifest_dir,
+                                      incremental=incremental)
     auto_sps = impl.fully_automatic_subprograms()
     total_sps = len({o.vc.subprogram for o in impl.outcomes})
     sections.append("```")
+    if impl.incremental is not None:
+        stats = impl.incremental
+        sections.append(
+            f"incremental                replayed {stats.replayed_vcs} / "
+            f"re-checked {stats.rechecked_vcs} VCs "
+            f"(manifest miss: {stats.manifest_miss})")
     sections.append(
         f"total VCs                  {impl.total_vcs}\n"
         f"discharged automatically   {impl.auto_discharged} "
@@ -186,6 +203,18 @@ def _parse_on_backend_failure(argv) -> str:
     return raw
 
 
+def _parse_incremental(argv):
+    """``(manifest_dir, incremental)`` from ``--incremental`` /
+    ``--manifest-dir``.  ``--incremental`` implies the default manifest
+    directory (``results/manifest``); naming a ``--manifest-dir`` alone
+    persists manifests without consulting them (the warm-up run)."""
+    incremental = "--incremental" in argv
+    manifest_dir = _flag_value(argv, "--manifest-dir")
+    if manifest_dir is None and incremental:
+        manifest_dir = "results/manifest"
+    return manifest_dir, incremental
+
+
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     quick = "--quick" in argv
@@ -194,7 +223,13 @@ def main(argv=None) -> int:
                         timeout_seconds=_parse_timeout(argv),
                         retries=_parse_retry_policy(argv),
                         on_backend_failure=_parse_on_backend_failure(argv))
-    report = run_all(quick=quick, exec=config)
+    manifest_dir, incremental = _parse_incremental(argv)
+    if incremental and not os.environ.get("REPRO_CACHE_DIR"):
+        print("note: --incremental replays verdicts from the result "
+              "cache; without REPRO_CACHE_DIR the cache is per-process "
+              "and nothing can replay across runs", file=sys.stderr)
+    report = run_all(quick=quick, exec=config,
+                     manifest_dir=manifest_dir, incremental=incremental)
     print(report)
     out = Path("results")
     out.mkdir(exist_ok=True)
@@ -204,8 +239,9 @@ def main(argv=None) -> int:
     measurements = figure2()
     atomic_write_text(out / "figure2.json", json.dumps(
         [m.__dict__ for m in measurements], indent=2, default=str))
-    impl = implementation_proof_stats(exec=config)   # memoized: same run
-    default_telemetry().dump_json(out / "telemetry.json", context={
+    impl = implementation_proof_stats(   # memoized: same run
+        exec=config, manifest_dir=manifest_dir, incremental=incremental)
+    context = {
         "backend": config.backend,
         "jobs": config.jobs,
         "timeout_seconds": config.timeout_seconds,
@@ -217,7 +253,10 @@ def main(argv=None) -> int:
             "index_skipped_rules": impl.report.index_skipped_rules,
             "cross_vc_hits": impl.report.cross_vc_hits,
         },
-    })
+    }
+    if impl.incremental is not None:
+        context["incremental"] = impl.incremental.to_json()
+    default_telemetry().dump_json(out / "telemetry.json", context=context)
     return 0
 
 

@@ -45,17 +45,23 @@ def render_table1(counts: AnnotationCounts) -> str:
 
 @lru_cache(maxsize=None)
 def implementation_proof_stats(exec: Optional[ExecConfig] = None,
-                               jobs=UNSET) -> ImplementationProofResult:
+                               jobs=UNSET,
+                               manifest_dir: Optional[str] = None,
+                               incremental: bool = False
+                               ) -> ImplementationProofResult:
     """The full implementation proof over the annotated refactored AES
     (section 6.2.3's 306 VCs / 86.6% / 15-of-25 figures).  ``exec``
     configures the obligation scheduler (``ExecConfig`` is hashable, so
     identical configurations share the memoized run); the bare ``jobs``
-    keyword is a deprecated shim."""
+    keyword is a deprecated shim.  ``manifest_dir``/``incremental``
+    (both hashable, so they key the memo too) enable edit-aware
+    re-verification via the run manifest (DESIGN.md §15)."""
     config = coerce_exec_config(exec, owner="implementation_proof_stats",
                                 jobs=jobs)
     typed = annotated_package()
     proof = ImplementationProof(typed, scripts=aes_proof_scripts(),
-                                exec=config)
+                                exec=config, manifest=manifest_dir,
+                                incremental=incremental)
     return proof.run()
 
 

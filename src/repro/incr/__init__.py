@@ -1,0 +1,36 @@
+"""Incremental re-verification (DESIGN.md §15).
+
+After each implementation-proof run a **run manifest** is persisted:
+per-subprogram *cone fingerprints* (Merkle digests over the subprogram's
+declaration text plus everything its discharge can observe -- the package
+declaration context and the transitive closure of referenced
+subprograms) together with, per VC, the content-addressed
+:class:`~repro.exec.ResultCache` key its verdict was stored under.  On
+the next run the edited package's cones are diffed against the manifest:
+subprograms whose cone is unchanged skip examination entirely and replay
+their verdicts straight from the cache; only the changed cone is
+re-examined and re-scheduled through the ordinary
+:class:`~repro.exec.ObligationScheduler`.
+
+The correctness stance is the repo's standard one: replay must be
+*bit-identical* to a cold serial run, and every defensive path (missing,
+torn, or stale manifest; a different prover-configuration scope; evicted
+cache entries) degrades to a full re-run -- never to a wrong verdict.
+"""
+
+from .fingerprint import (
+    cone_fingerprints, package_context_fingerprint, reference_closure,
+    subprogram_fingerprints,
+)
+from .manifest import (
+    MANIFEST_SCHEMA, ManifestStore, coerce_manifest_store,
+    run_config_digest,
+)
+from .plan import IncrementalStats, ReplayedSubprogram, plan_incremental
+
+__all__ = [
+    "MANIFEST_SCHEMA", "ManifestStore", "coerce_manifest_store",
+    "run_config_digest", "package_context_fingerprint",
+    "subprogram_fingerprints", "reference_closure", "cone_fingerprints",
+    "IncrementalStats", "ReplayedSubprogram", "plan_incremental",
+]

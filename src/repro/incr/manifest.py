@@ -1,0 +1,134 @@
+"""The run manifest: what the previous run proved, addressably.
+
+One JSON file per package name under the store root
+(``<root>/<package>.json``), published atomically
+(:func:`~repro.exec.atomicio.atomic_write_json`) so a crashed writer can
+never leave a half-manifest behind.  Schema ``repro-incr/v1``::
+
+    {
+      "schema": "repro-incr/v1",
+      "package": "AES",
+      "package_fp": "<sha256 of the printed package at save time>",
+      "config_digest": "<sha256 over prover config + examiner limits>",
+      "subprograms": {
+        "<name>": {
+          "cone_fp": "<sha256>",
+          "generated_bytes": int, "simplified_bytes": int,
+          "work_units": int, "fixpoint_exhausted": int,
+          "vcs": [
+            {"name": "...", "kind": "...",
+             "generated_bytes": int, "simplified_bytes": int,
+             "simplifier": bool,          # discharged by the simplifier
+             "term_fp": "<Merkle fingerprint of the simplified term>",
+             "cache_key": "<ResultCache key>" | null}
+          ]
+        }
+      }
+    }
+
+``cache_key`` is the load-bearing field: VC cache keys embed the
+*whole-package* fingerprint, so after any edit the re-derived keys all
+change -- replay must use the key recorded when the verdict was stored.
+``config_digest`` scopes the manifest the same way
+``simplifier_rules_key`` scopes the normalization cache: a manifest
+written under a different prover configuration (timeouts, scripts,
+examiner limits) never validates.
+
+Loading is defensive by construction: a missing, torn, truncated,
+wrong-schema, wrong-package, or wrong-scope manifest returns ``None``
+and the caller falls back to a full run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from ..exec.atomicio import atomic_write_json
+
+__all__ = ["MANIFEST_SCHEMA", "run_config_digest", "ManifestStore",
+           "coerce_manifest_store"]
+
+MANIFEST_SCHEMA = "repro-incr/v1"
+
+
+def run_config_digest(prover_config: str, limits=None) -> str:
+    """Digest of the non-package inputs that shape a verdict: the
+    session's prover configuration string (timeouts, interactive
+    scripts) and the examiner resource limits.  The package itself is
+    *not* in here -- package edits are what the per-subprogram cone
+    diff detects."""
+    from ..vcgen import ExaminerLimits
+    limits = limits if limits is not None else ExaminerLimits()
+    token = "\x1f".join([
+        prover_config,
+        f"tree={limits.max_tree_bytes}",
+        f"wp={limits.max_wp_statements}",
+    ])
+    return hashlib.sha256(token.encode()).hexdigest()
+
+
+class ManifestStore:
+    """Atomic load/save of run manifests under one directory."""
+
+    def __init__(self, root: Union[str, os.PathLike]):
+        self.root = Path(root)
+
+    def path_for(self, package_name: str) -> Path:
+        return self.root / f"{package_name}.json"
+
+    def load(self, package_name: str,
+             config_digest: str) -> Optional[dict]:
+        """The manifest for ``package_name`` under ``config_digest``, or
+        ``None`` for *any* defect: absent file, unparseable JSON (torn or
+        truncated write by a non-atomic foreign writer), wrong schema,
+        wrong package, a different configuration scope, or a structurally
+        malformed subprogram table.  ``None`` always means "run cold"."""
+        path = self.path_for(package_name)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        if data.get("schema") != MANIFEST_SCHEMA:
+            return None
+        if data.get("package") != package_name:
+            return None
+        if data.get("config_digest") != config_digest:
+            return None
+        subprograms = data.get("subprograms")
+        if not isinstance(subprograms, dict):
+            return None
+        for entry in subprograms.values():
+            if not isinstance(entry, dict) or \
+                    not isinstance(entry.get("cone_fp"), str) or \
+                    not isinstance(entry.get("vcs"), list):
+                return None
+        return data
+
+    def save(self, package_name: str, package_fp: str, config_digest: str,
+             subprograms: dict) -> Path:
+        path = self.path_for(package_name)
+        atomic_write_json(path, {
+            "schema": MANIFEST_SCHEMA,
+            "package": package_name,
+            "package_fp": package_fp,
+            "config_digest": config_digest,
+            "subprograms": subprograms,
+        })
+        return path
+
+
+def coerce_manifest_store(manifest) -> Optional[ManifestStore]:
+    """``None`` | :class:`ManifestStore` | a directory path -> an
+    optional store (the ``manifest=`` argument convention)."""
+    if manifest is None or isinstance(manifest, ManifestStore):
+        return manifest
+    if isinstance(manifest, (str, os.PathLike)):
+        return ManifestStore(manifest)
+    raise TypeError(f"manifest must be a ManifestStore, a directory "
+                    f"path, or None, got {type(manifest).__name__}")

@@ -16,9 +16,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exec import VCPayload, package_fingerprint, vc_obligation
+from ..exec import events as ev
+from ..exec.cache import default_cache
 from ..exec.config import UNSET, ExecConfig, coerce_exec_config
+from ..exec.telemetry import default_telemetry
+from ..incr.fingerprint import cone_fingerprints
+from ..incr.manifest import coerce_manifest_store, run_config_digest
+from ..incr.plan import IncrementalStats, plan_incremental
 from ..lang.typecheck import TypedPackage
-from ..logic import NormalizationCache, encode_terms
+from ..logic import NormalizationCache, encode_terms, fingerprint
 from ..vcgen import Examiner, ExaminerLimits, ExaminerReport, VCRecord
 from ..vcgen.simplifier import simplifier_rules_key
 from .auto import AutoProver, ProofResult
@@ -39,6 +45,10 @@ class ImplementationProofResult:
     report: ExaminerReport
     outcomes: List[VCOutcome]
     wall_seconds: float
+    #: Populated only by incremental sessions (DESIGN.md §15): how many
+    #: verdicts replayed from the manifest vs went through the full
+    #: examine-and-discharge path.
+    incremental: Optional[IncrementalStats] = None
 
     @property
     def feasible(self) -> bool:
@@ -122,6 +132,8 @@ class ImplementationProof:
                  scripts: Optional[Dict[str, Sequence[ProofScript]]] = None,
                  exec: Optional[ExecConfig] = None,
                  norm_cache: Optional[NormalizationCache] = None,
+                 manifest=None,
+                 incremental: bool = False,
                  jobs=UNSET,
                  cache=UNSET,
                  telemetry=UNSET,
@@ -135,10 +147,23 @@ class ImplementationProof:
         caller-owned :class:`~repro.logic.NormalizationCache` so warm
         normal forms survive beyond this session (the serve layer keeps
         one per tenant namespace across requests); by default the session
-        owns a fresh one, the historical behaviour."""
+        owns a fresh one, the historical behaviour.
+
+        ``manifest`` (a :class:`~repro.incr.ManifestStore` or a directory
+        path) makes the session persist a run manifest after each run;
+        ``incremental=True`` additionally consults it *before* the run,
+        replaying verdicts for subprograms whose cone fingerprint is
+        unchanged straight from the result cache (DESIGN.md §15).
+        Incremental mode without a manifest store is a contradiction and
+        fails loudly."""
         self.typed = typed
         self.limits = limits
         self.scripts = scripts or {}
+        self.manifest = coerce_manifest_store(manifest)
+        self.incremental = bool(incremental)
+        if self.incremental and self.manifest is None:
+            raise ValueError("incremental=True requires manifest= "
+                             "(a ManifestStore or a directory path)")
         self.exec = coerce_exec_config(
             exec, owner="ImplementationProof", jobs=jobs, cache=cache,
             telemetry=telemetry, timeout_seconds=obligation_timeout)
@@ -161,12 +186,30 @@ class ImplementationProof:
     def run(self, subprogram_names: Optional[Sequence[str]] = None
             ) -> ImplementationProofResult:
         started = time.perf_counter()
+        names = list(subprogram_names) if subprogram_names is not None \
+            else [sp.name for sp in self.typed.package.subprograms]
+        config = self._prover_config()
+
+        # Incremental planning: replayable subprograms skip examination
+        # entirely; everything else runs the ordinary path below.
+        replayed = {}
+        incr_stats: Optional[IncrementalStats] = None
+        previous = None
+        config_digest = None
+        if self.manifest is not None:
+            config_digest = run_config_digest(config, self.limits)
+        if self.incremental:
+            previous = self.manifest.load(self.typed.package.name,
+                                          config_digest)
+            replayed, incr_stats = plan_incremental(
+                previous, self.typed, names, self._resolved_cache())
+
+        check_names = [n for n in names if n not in replayed]
         examiner = Examiner(self.typed, limits=self.limits,
                             shared=self._norm_cache)
-        report = examiner.examine(subprogram_names)
+        report = examiner.examine(check_names)
 
         package_fp = package_fingerprint(self.typed)
-        config = self._prover_config()
         auto_provers: Dict[str, AutoProver] = {}
         interactive_provers: Dict[str, InteractiveProver] = {}
 
@@ -224,6 +267,10 @@ class ImplementationProof:
             analysis.cross_vc_hits += counters["cross_vc_hits"]
 
         outcomes: List[VCOutcome] = []
+        #: Subprograms with at least one scheduler-level failure (timeout,
+        #: recorded error, crash): their verdicts were never cached, so
+        #: they must not enter the manifest as replayable.
+        unclean: set = set()
         for tag, payload in slots:
             if tag == "done":
                 outcomes.append(payload)
@@ -237,15 +284,118 @@ class ImplementationProof:
             else:
                 # Scheduler-level timeout (or recorded error): the VC is
                 # honestly undischarged rather than crashing the run.
+                unclean.add(record.subprogram)
                 outcomes.append(VCOutcome(
                     vc=record, stage="undischarged",
                     result=ProofResult(False, result.status,
                                        detail=result.error or "")))
+
+        if incr_stats is not None:
+            incr_stats.rechecked_vcs = len(outcomes)
+            self._record_replays(replayed)
+
+        # Merge checked and replayed subprograms back into request order
+        # (== declaration order for a full run), so the incremental result
+        # is positionally identical to a cold one.
+        merged_per: Dict[str, object] = {}
+        by_subprogram: Dict[str, List[VCOutcome]] = {}
+        for outcome in outcomes:
+            by_subprogram.setdefault(outcome.vc.subprogram,
+                                     []).append(outcome)
+        merged_outcomes: List[VCOutcome] = []
+        for name in names:
+            if name in replayed:
+                merged_per[name] = replayed[name].analysis
+                merged_outcomes.extend(replayed[name].outcomes)
+            else:
+                merged_per[name] = report.per_subprogram[name]
+                merged_outcomes.extend(by_subprogram.get(name, []))
+        merged_report = ExaminerReport(per_subprogram=merged_per,
+                                       wall_seconds=report.wall_seconds)
+
+        if self.manifest is not None:
+            self._save_manifest(names, replayed, previous, report,
+                                vc_records, obligations, unclean,
+                                package_fp, config_digest)
+
         return ImplementationProofResult(
-            report=report,
-            outcomes=outcomes,
+            report=merged_report,
+            outcomes=merged_outcomes,
             wall_seconds=time.perf_counter() - started,
+            incremental=incr_stats,
         )
+
+    def _resolved_cache(self):
+        """The :class:`~repro.exec.ResultCache` the scheduler will use
+        (mirrors the scheduler's own resolution): ``None`` in the config
+        selects the process default, ``False`` disables caching -- and
+        with it, incremental replay."""
+        cache = self.exec.cache
+        if cache is None:
+            return default_cache()
+        if cache is False:
+            return None
+        return cache
+
+    def _record_replays(self, replayed) -> None:
+        """Mirror the scheduler's cache-hit telemetry for replayed VCs:
+        one submitted/cached pair per scheduler-bound VC, tagged so the
+        counters distinguish manifest replay from ordinary warm hits."""
+        telemetry = self.exec.telemetry if self.exec.telemetry is not None \
+            else default_telemetry()
+        for name, entry in replayed.items():
+            for outcome in entry.outcomes:
+                if outcome.vc.discharged_by_simplifier:
+                    continue
+                label = f"{name}/{outcome.vc.name}"
+                telemetry.record(ev.SUBMITTED, "vc", label,
+                                 detail="incremental")
+                telemetry.record(ev.CACHED, "vc", label,
+                                 detail="incremental_replay")
+
+    def _save_manifest(self, names, replayed, previous, report,
+                       vc_records, obligations, unclean,
+                       package_fp: str, config_digest: str) -> None:
+        """Persist the post-run manifest: replayed subprograms carry
+        their previous entries forward verbatim (their recorded cache
+        keys, under the *old* package fingerprint, are exactly what makes
+        them replayable again); freshly checked subprograms enter only
+        when their analysis was feasible and every scheduled VC actually
+        produced (and cached) a verdict."""
+        key_by_vc = {id(vc): ob.cache_key
+                     for vc, ob in zip(vc_records, obligations)}
+        old_entries = (previous or {}).get("subprograms", {})
+        cones = cone_fingerprints(self.typed)
+        entries: Dict[str, dict] = {}
+        for name in names:
+            if name in replayed:
+                entries[name] = old_entries[name]
+                continue
+            analysis = report.per_subprogram[name]
+            if not analysis.feasible or name in unclean:
+                continue
+            rows = []
+            for vc in analysis.vcs:
+                rows.append({
+                    "name": vc.name,
+                    "kind": vc.kind,
+                    "generated_bytes": vc.generated_bytes,
+                    "simplified_bytes": vc.simplified_bytes,
+                    "simplifier": vc.discharged_by_simplifier,
+                    "term_fp": fingerprint(vc.simplified.simplified),
+                    "cache_key": None if vc.discharged_by_simplifier
+                    else key_by_vc[id(vc)],
+                })
+            entries[name] = {
+                "cone_fp": cones[name],
+                "generated_bytes": analysis.generated_bytes,
+                "simplified_bytes": analysis.simplified_bytes,
+                "work_units": analysis.work_units,
+                "fixpoint_exhausted": analysis.fixpoint_exhausted,
+                "vcs": rows,
+            }
+        self.manifest.save(self.typed.package.name, package_fp,
+                           config_digest, entries)
 
     #: At most this many warm normal forms ship per subprogram: the MRU
     #: tail of the examiner's entries (the last-converging, largest

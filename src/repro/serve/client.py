@@ -115,32 +115,41 @@ class ServeClient:
     # -- the reader thread ---------------------------------------------------
 
     def _read_loop(self, readable) -> None:
-        for raw in readable:
-            try:
-                message = json.loads(raw.decode("utf-8"))
-            except ValueError:
-                continue   # sub-daemon noise on a shared stream
-            if not isinstance(message, dict):
-                continue
-            reply = message.get("reply")
-            if reply == "event":
-                self._events.setdefault(message.get("id", "?"),
-                                        []).append(message["event"])
-            elif reply == "result":
-                with self._result_ready:
-                    self._results[message["id"]] = message
-                    self._result_ready.notify_all()
-            elif reply == "error" and message.get("code") == "unknown_id":
-                # A failed ``wait`` resolves the waiter, not the reply
-                # queue (nothing is blocked on _replies for it).
-                with self._result_ready:
-                    self._errors[message.get("id", "?")] = message
-                    self._result_ready.notify_all()
-            elif reply in _REPLY_KINDS:
-                self._replies.put(message)
-        with self._result_ready:
-            self._closed = True
-            self._result_ready.notify_all()
+        # The closed flag is set on *any* exit -- clean end-of-stream or a
+        # transport exception -- inside the finally: a waiter must never
+        # sit out its full timeout against a reader that is already dead.
+        try:
+            for raw in readable:
+                try:
+                    message = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    continue   # sub-daemon noise on a shared stream
+                if not isinstance(message, dict):
+                    continue
+                reply = message.get("reply")
+                if reply == "event":
+                    self._events.setdefault(message.get("id", "?"),
+                                            []).append(message["event"])
+                elif reply == "result":
+                    with self._result_ready:
+                        self._results[message["id"]] = message
+                        self._result_ready.notify_all()
+                elif reply == "error" and \
+                        message.get("code") == "unknown_id":
+                    # A failed ``wait`` resolves the waiter, not the reply
+                    # queue (nothing is blocked on _replies for it).
+                    with self._result_ready:
+                        self._errors[message.get("id", "?")] = message
+                        self._result_ready.notify_all()
+                elif reply in _REPLY_KINDS:
+                    self._replies.put(message)
+        except (OSError, ValueError):
+            pass   # transport died underneath us; the finally resolves
+                   # every waiter instead of a thread traceback
+        finally:
+            with self._result_ready:
+                self._closed = True
+                self._result_ready.notify_all()
 
     # -- requests ------------------------------------------------------------
 
@@ -152,7 +161,7 @@ class ServeClient:
         try:
             message = self._replies.get(timeout=timeout)
         except queue.Empty:
-            raise TimeoutError("no reply from daemon")
+            raise TimeoutError("no reply from daemon") from None
         if message.get("reply") == "error":
             raise ClientError(message)
         return message
@@ -189,16 +198,22 @@ class ServeClient:
         self._send(message)
         return self._reply(timeout)
 
-    def wait(self, request_id: str, timeout: float = 300.0) -> dict:
-        """Block until the request's terminal ``result`` message."""
+    def wait(self, request_id: str,
+             timeout: Optional[float] = 300.0) -> dict:
+        """Block until the request's terminal ``result`` message.
+        ``timeout=None`` blocks forever (until the result arrives or the
+        connection dies)."""
         with self._result_ready:
             if request_id not in self._results:
-                self._send({"op": "wait", "id": request_id})
-            deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+                try:
+                    self._send({"op": "wait", "id": request_id})
+                except (BrokenPipeError, OSError, ValueError):
+                    pass   # transport already dead: the reader's exit
+                           # (below) resolves this wait as closed
             ok = self._result_ready.wait_for(
                 lambda: request_id in self._results
                 or request_id in self._errors or self._closed,
-                timeout=deadline)
+                timeout=timeout)
             if request_id in self._results:
                 return self._results[request_id]
             if request_id in self._errors:
@@ -212,7 +227,7 @@ class ServeClient:
         except queue.Empty:
             raise ClientError({"code": "connection_closed",
                                "detail": f"stream ended before result "
-                                         f"for {request_id!r}"})
+                                         f"for {request_id!r}"}) from None
         if message.get("reply") == "error":
             raise ClientError(message)
         raise ClientError({"code": "connection_closed",

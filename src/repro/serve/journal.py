@@ -30,7 +30,7 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Set
 
@@ -47,7 +47,15 @@ class QueueItem:
     lane: str
     namespace: str
     request: dict          # the normalized submit record (plain JSON data)
-    enqueued_wall: float   # epoch seconds at admission (informational)
+    enqueued_wall: float   # epoch seconds at admission (journal record only)
+    #: Monotonic clock at admission: the queue-latency reference.  Wall
+    #: time steps (NTP slews, manual clock changes) must never distort
+    #: ``queue_seconds``, so the measurement clock is monotonic and the
+    #: wall timestamp is informational.  Not serialized -- a journal
+    #: replay re-enqueues with a fresh monotonic reading, measuring
+    #: latency from re-admission (cross-reboot monotonic deltas are
+    #: meaningless anyway).
+    enqueued_mono: float = field(default_factory=time.monotonic)
 
     def to_json(self) -> dict:
         return {"op": "enqueue", "id": self.request_id, "lane": self.lane,

@@ -202,6 +202,18 @@ def normalize_submit(message: dict,
                             f"scripts must be a boolean, got {scripts!r}",
                             request_id)
 
+    incremental = message.get("incremental", False)
+    if not isinstance(incremental, bool):
+        raise ProtocolError(
+            "bad_request",
+            f"incremental must be a boolean, got {incremental!r}",
+            request_id)
+    if incremental and kind != "prove":
+        raise ProtocolError(
+            "bad_request",
+            f"incremental applies to prove requests only, not {kind!r}",
+            request_id)
+
     exec_json = message.get("exec", {})
     try:
         ExecConfig.from_json(exec_json)   # validation only; stored as dict
@@ -242,6 +254,7 @@ def normalize_submit(message: dict,
         "package": package,
         "subprograms": subprograms,
         "scripts": scripts,
+        "incremental": incremental,
         "exec": exec_json,
         "params": params,
     }

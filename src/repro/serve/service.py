@@ -155,8 +155,17 @@ def _run_prove(request: dict, typed, scripts, tenant: TenantCaches,
     bit-identity: it must match the batch harness VC for VC."""
     from ..prover import ImplementationProof
     names = _resolve_subprograms(request, typed)
+    incremental = bool(request.get("incremental"))
+    if incremental and tenant.manifest_store is None:
+        # Manifests live under state_dir/manifest/<namespace>; without a
+        # state dir there is nowhere to persist or read one.  Loud
+        # failure, same stance as the flag validators.
+        raise RequestFailed("incremental prove requires a durable daemon "
+                            "(--state-dir)")
     proof = ImplementationProof(typed, scripts=scripts, exec=exec_config,
-                                norm_cache=tenant.norm_cache)
+                                norm_cache=tenant.norm_cache,
+                                manifest=tenant.manifest_store,
+                                incremental=incremental)
     result = proof.run(names)
     verdicts = [{
         "subprogram": o.vc.subprogram,
@@ -166,7 +175,7 @@ def _run_prove(request: dict, typed, scripts, tenant: TenantCaches,
         "proved": o.result.proved if o.result is not None else None,
         "method": o.result.method if o.result is not None else None,
     } for o in result.outcomes]
-    return {
+    payload = {
         "kind": "prove",
         "feasible": result.feasible,
         "total_vcs": result.total_vcs,
@@ -178,6 +187,9 @@ def _run_prove(request: dict, typed, scripts, tenant: TenantCaches,
         "verdicts": verdicts,
         "wall_seconds": result.wall_seconds,
     }
+    if result.incremental is not None:
+        payload["incremental"] = result.incremental.to_json()
+    return payload
 
 
 def _run_refactor(request: dict, exec_config: ExecConfig) -> dict:
@@ -406,7 +418,11 @@ class VerificationService:
 
         subscription = request_telemetry.subscribe(forward)
         tenant = self.tenants.get(item.namespace)
-        queue_seconds = max(0.0, time.time() - item.enqueued_wall)
+        # Monotonic delta: wall-clock steps between admission and dispatch
+        # must not distort the latency (the old wall-time delta needed a
+        # max(0, ...) clamp that silently swallowed backward steps and
+        # just as silently inflated forward ones).
+        queue_seconds = time.monotonic() - item.enqueued_mono
         started = time.perf_counter()
         try:
             payload = await asyncio.to_thread(

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from ..exec.cache import ResultCache
+from ..incr.manifest import ManifestStore
 from ..logic.normcache import NormalizationCache
 
 __all__ = ["TenantCaches", "TenantRegistry"]
@@ -38,6 +39,9 @@ class TenantCaches:
     namespace: str
     result_cache: ResultCache
     norm_cache: NormalizationCache
+    #: Per-tenant run manifests (``state_dir/manifest/<namespace>``) for
+    #: incremental re-verification; ``None`` on a non-durable daemon.
+    manifest_store: Optional[ManifestStore] = None
     requests_served: int = 0
 
     def snapshot(self) -> dict:
@@ -80,8 +84,11 @@ class TenantRegistry:
             tenant = self._tenants.get(namespace)
             if tenant is None:
                 disk = None
+                manifests = None
                 if self.state_dir is not None:
                     disk = self.state_dir / "cache" / namespace
+                    manifests = ManifestStore(
+                        self.state_dir / "manifest" / namespace)
                 norm_kwargs = {} if self.norm_entries is None else \
                     {"max_entries": self.norm_entries}
                 tenant = TenantCaches(
@@ -89,7 +96,8 @@ class TenantRegistry:
                     result_cache=ResultCache(
                         disk_dir=disk,
                         max_memory_entries=self.cache_memory_entries),
-                    norm_cache=NormalizationCache(**norm_kwargs))
+                    norm_cache=NormalizationCache(**norm_kwargs),
+                    manifest_store=manifests)
                 self._tenants[namespace] = tenant
             return tenant
 
