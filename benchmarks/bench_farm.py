@@ -1,0 +1,218 @@
+"""Proof-farm benchmark: remote-backend scaling + the farm-vs-serial
+differential gate on the full AES corpus (DESIGN.md §16).
+
+Legs:
+
+* **differential gate** -- verdicts under ``backend="remote"`` must be
+  bit-identical to the in-process serial reference on all 467 VCs, in
+  every farm shape: one worker, four workers, a two-worker farm with a
+  cold then warm shared cache tier, and a two-worker farm that loses a
+  worker to ``SIGKILL`` mid-run (the coordinator blames the in-flight
+  obligations and re-runs them on the survivor);
+* **scaling** -- four workers must beat one worker by at least
+  ``_MIN_SPEEDUP``x wall clock (the acceptance floor; the workload is
+  embarrassingly parallel, so healthy farms measure well above it);
+* **shared cache tier** -- the warm repeat over the same corpus must be
+  served from the coordinator's cache without recomputing.
+
+Every timing leg spawns *fresh* worker processes: ``--listen`` workers
+keep a local result cache that is warm across runs, which is a feature
+in production and a contaminant in a scaling measurement.
+
+Results are written to ``BENCH_pr8.json`` at the repo root
+(``bench-farm/v1``).  Runnable standalone
+(``python benchmarks/bench_farm.py [--check]``) or under pytest
+(``python -m pytest benchmarks/bench_farm.py -q -s``).  The
+differential gate always runs; the speedup floors are asserted in check
+mode (``--check`` / ``REPRO_BENCH_CHECK=1``) and reported otherwise.
+"""
+
+import json
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.aes.annotations import annotated_package
+from repro.aes.proof_scripts import aes_proof_scripts
+from repro.exec import ExecConfig, ResultCache, Telemetry
+from repro.exec.remote import spawn_worker
+from repro.prover import ImplementationProof
+
+CHECK_MODE = os.environ.get("REPRO_BENCH_CHECK", "") not in ("", "0")
+
+#: Four workers must beat one worker by at least this factor.
+_MIN_SPEEDUP = 1.5
+
+#: The warm shared-cache repeat must beat its cold first run.
+_MIN_WARM_SPEEDUP = 2.0
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_pr8.json"
+
+
+def _keys(result):
+    return [(o.vc.subprogram, o.vc.name, o.vc.kind, o.stage,
+             o.result.proved if o.result else None)
+            for o in result.outcomes]
+
+
+@contextmanager
+def _farm(count, prefix):
+    """``count`` fresh listen-mode workers; kills them on exit."""
+    procs, addresses = [], []
+    try:
+        for i in range(count):
+            proc, address = spawn_worker(listen="127.0.0.1:0",
+                                         name=f"{prefix}{i}")
+            procs.append(proc)
+            addresses.append(address)
+        yield procs, tuple(addresses)
+    finally:
+        for proc in procs:
+            proc.kill()
+            proc.wait()
+
+
+def _run(typed, scripts, config):
+    started = time.perf_counter()
+    result = ImplementationProof(typed, scripts=scripts,
+                                 exec=config).run()
+    return result, time.perf_counter() - started
+
+
+def _remote_config(addresses, **kw):
+    kw.setdefault("jobs", 2 * len(addresses))
+    kw.setdefault("cache", False)
+    kw.setdefault("telemetry", Telemetry())
+    return ExecConfig(backend="remote", remote_workers=addresses, **kw)
+
+
+def run_farm_bench(check: bool):
+    typed = annotated_package()
+    scripts = aes_proof_scripts()
+
+    serial, serial_seconds = _run(
+        typed, scripts, ExecConfig(jobs=1, backend="serial", cache=False))
+    reference = _keys(serial)
+    total_vcs = len(reference)
+
+    # -- scaling: 1 worker vs 4 workers, fresh farms, no caches ----------
+    with _farm(1, "solo") as (_, addresses):
+        one, one_seconds = _run(typed, scripts, _remote_config(addresses))
+    assert _keys(one) == reference, \
+        "1-worker farm verdicts diverge from the serial reference"
+
+    with _farm(4, "quad") as (_, addresses):
+        four, four_seconds = _run(typed, scripts,
+                                  _remote_config(addresses))
+    assert _keys(four) == reference, \
+        "4-worker farm verdicts diverge from the serial reference"
+    scaling = one_seconds / four_seconds if four_seconds > 0 \
+        else float("inf")
+
+    # -- shared cache tier: cold fill, then a warm repeat ----------------
+    cache = ResultCache()
+    with _farm(2, "duo") as (_, addresses):
+        cold, cold_seconds = _run(
+            typed, scripts,
+            _remote_config(addresses, cache=cache, jobs=4))
+        warm, warm_seconds = _run(
+            typed, scripts,
+            _remote_config(addresses, cache=cache, jobs=4))
+    assert _keys(cold) == reference, \
+        "cold shared-cache farm verdicts diverge from the reference"
+    assert _keys(warm) == reference, \
+        "warm shared-cache farm verdicts diverge from the reference"
+    warm_speedup = cold_seconds / warm_seconds if warm_seconds > 0 \
+        else float("inf")
+
+    # -- worker loss mid-run: kill one of two, verdicts must not move ----
+    with _farm(2, "frail") as (procs, addresses):
+        assassin = threading.Timer(3.0, procs[0].kill)
+        assassin.start()
+        try:
+            crashed, crash_seconds = _run(typed, scripts,
+                                          _remote_config(addresses,
+                                                         jobs=4))
+        finally:
+            assassin.cancel()
+    assert _keys(crashed) == reference, \
+        "verdicts moved after a worker was killed mid-run"
+
+    payload = {
+        "schema": "bench-farm/v1",
+        "min_speedup": _MIN_SPEEDUP,
+        "min_warm_speedup": _MIN_WARM_SPEEDUP,
+        "check_mode": check,
+        "total_vcs": total_vcs,
+        "auto_percent": serial.auto_percent,
+        "serial_seconds": serial_seconds,
+        "one_worker_seconds": one_seconds,
+        "four_worker_seconds": four_seconds,
+        "scaling_speedup": scaling,
+        "shared_cache": {
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_speedup": warm_speedup,
+        },
+        "worker_loss_seconds": crash_seconds,
+        "legs_identical_to_reference": True,
+    }
+    _OUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print(f"corpus        {total_vcs} VCs, "
+          f"{serial.auto_percent:.1f}% auto")
+    print(f"serial        {serial_seconds:.1f} s (in-process reference)")
+    print(f"1 worker      {one_seconds:.1f} s")
+    print(f"4 workers     {four_seconds:.1f} s "
+          f"(scaling {scaling:.2f}x over 1 worker)")
+    print(f"shared cache  cold {cold_seconds:.1f} s, "
+          f"warm {warm_seconds:.1f} s (speedup {warm_speedup:.1f}x)")
+    print(f"worker loss   {crash_seconds:.1f} s "
+          f"(1 of 2 workers SIGKILLed mid-run)")
+    print("differential  every farm shape == serial reference")
+    print(f"results       {_OUT.name}")
+
+    scaling_ok = scaling >= _MIN_SPEEDUP
+    warm_ok = warm_speedup >= _MIN_WARM_SPEEDUP
+    if check:
+        assert scaling_ok, (
+            f"4-worker scaling {scaling:.2f}x below the "
+            f"{_MIN_SPEEDUP}x floor over 1 worker")
+        assert warm_ok, (
+            f"warm shared-cache speedup {warm_speedup:.2f}x below the "
+            f"{_MIN_WARM_SPEEDUP}x floor")
+    else:
+        if not scaling_ok:
+            print(f"WARNING: scaling {scaling:.2f}x below the "
+                  f"{_MIN_SPEEDUP}x floor (non-fatal without --check)")
+        if not warm_ok:
+            print(f"WARNING: warm speedup {warm_speedup:.2f}x below the "
+                  f"{_MIN_WARM_SPEEDUP}x floor (non-fatal without "
+                  f"--check)")
+    return payload
+
+
+def bench_farm_scaling(benchmark):
+    """Pytest leg: the differential gate always runs; the scaling floors
+    are enforced in check mode and locally."""
+    benchmark.pedantic(lambda: run_farm_bench(check=True),
+                       rounds=1, iterations=1)
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    check = "--check" in argv or CHECK_MODE
+    unknown = [a for a in argv if a not in ("--check",)]
+    if unknown:
+        raise SystemExit(f"usage: python benchmarks/bench_farm.py "
+                         f"[--check] (got {unknown!r})")
+    run_farm_bench(check=check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..exec.config import UNSET, ExecConfig, coerce_exec_config
+from ..exec.config import ExecConfig, coerce_exec_config, \
+    reject_legacy_exec_kwargs
 from ..extract import extract_specification, match_ratio
 from ..implication import prove_implication
 from ..lang import TypedPackage, analyze, ast, print_package
@@ -37,18 +38,17 @@ class EchoVerifier:
                  observables: Sequence[str],
                  samplers: Optional[dict] = None,
                  check: str = "full", trials: int = 24,
-                 exec: Optional["ExecConfig"] = None,
-                 jobs=UNSET, cache=UNSET, telemetry=UNSET):
+                 exec: Optional["ExecConfig"] = None, **legacy):
         """``exec`` configures the obligation execution layer
         (:mod:`repro.exec`) -- backend, job count, cache, telemetry,
-        timeouts -- for all three proof legs; the bare
-        ``jobs``/``cache``/``telemetry`` keywords are deprecated shims
-        for it.  By default each verifier gets its own
+        timeouts -- for all three proof legs (the PR-3 era bare
+        ``jobs``/``cache``/``telemetry`` shims are gone and raise
+        ``TypeError``).  By default each verifier gets its own
         :class:`Telemetry`, whose aggregate statistics land on the
         resulting :class:`~repro.core.results.EchoResult`."""
         from ..exec import Telemetry
-        config = coerce_exec_config(exec, owner="EchoVerifier", jobs=jobs,
-                                    cache=cache, telemetry=telemetry)
+        reject_legacy_exec_kwargs("EchoVerifier", legacy)
+        config = coerce_exec_config(exec, owner="EchoVerifier")
         if config.telemetry is None:
             config = config.with_telemetry(Telemetry())
         self.exec = config
@@ -101,7 +101,7 @@ class EchoVerifier:
 
 def verify_aes(check: str = "differential", trials: int = 6,
                exec: Optional["ExecConfig"] = None,
-               jobs=UNSET, cache=UNSET, telemetry=UNSET) -> EchoResult:
+               **legacy) -> EchoResult:
     """The complete AES verification: optimized implementation, 14
     transformation blocks, annotation, implementation proof, extraction,
     implication against FIPS-197.
@@ -111,8 +111,10 @@ def verify_aes(check: str = "differential", trials: int = 6,
     the default is the guaranteed-deterministic serial path.  An
     ``ExecConfig`` carrying a shared :class:`~repro.exec.ResultCache`
     across calls makes repeat verification incremental (unchanged
-    obligations replay from cache).  The bare ``jobs``/``cache``/
-    ``telemetry`` keywords are deprecated shims for ``exec``."""
+    obligations replay from cache).  ``exec=ExecConfig(backend='remote',
+    remote_workers=(...,))`` shards them across worker hosts (DESIGN.md
+    §16); the PR-3 era bare ``jobs``/``cache``/``telemetry`` shims are
+    gone and raise ``TypeError``."""
     from ..aes.annotations import build_annotated
     from ..aes.blocks import AESPipeline, transformation_blocks, \
         cipher_sampler
@@ -121,8 +123,8 @@ def verify_aes(check: str = "differential", trials: int = 6,
     from ..aes.proof_scripts import aes_proof_scripts
     from ..lang import parse_package
 
-    config = coerce_exec_config(exec, owner="verify_aes", jobs=jobs,
-                                cache=cache, telemetry=telemetry)
+    reject_legacy_exec_kwargs("verify_aes", legacy)
+    config = coerce_exec_config(exec, owner="verify_aes")
     verifier = EchoVerifier(
         parse_package(optimized_source()),
         fips197_theory(),

@@ -6,11 +6,14 @@ The three proof layers of the Echo pipeline -- VC discharge
 (:mod:`repro.implication`) -- express their work as uniform
 :class:`~repro.exec.obligation.Obligation` values and hand them to an
 :class:`~repro.exec.scheduler.ObligationScheduler`, which runs them on
-one of three backends -- inline (``backend='serial'`` or ``jobs=1``,
+one of four backends -- inline (``backend='serial'`` or ``jobs=1``,
 bit-identical to the historical serial path), a thread pool
-(``backend='thread'``), or a process pool (``backend='process'``, true
+(``backend='thread'``), a process pool (``backend='process'``, true
 multi-core proving via the declarative payloads of
-:mod:`repro.exec.payload`) -- consults a content-addressed
+:mod:`repro.exec.payload`), or a distributed proof farm
+(``backend='remote'``, socket-connected worker hosts with a shared
+networked cache tier, :mod:`repro.exec.remote`) -- consults a
+content-addressed
 :class:`~repro.exec.cache.ResultCache`, and records structured
 :class:`~repro.exec.telemetry.Telemetry` events.
 
@@ -35,6 +38,7 @@ from .payload import (
     CallPayload, EquivTrialPayload, LemmaPayload, ObligationPayload,
     VCPayload,
 )
+from .remote import RemoteCoordinator
 from .scheduler import (
     BACKENDS, BackendUnusableError, ObligationOutcome, ObligationScheduler,
 )
@@ -53,4 +57,5 @@ __all__ = [
     "ObligationPayload", "VCPayload", "EquivTrialPayload", "LemmaPayload",
     "CallPayload",
     "VC", "EQUIV_TRIAL", "LEMMA",
+    "RemoteCoordinator",
 ]

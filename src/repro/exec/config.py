@@ -8,38 +8,55 @@ checks, the implication proof, the harness statistics -- takes one
 value object; components derive per-run :class:`~repro.exec.scheduler
 .ObligationScheduler` instances from it via :meth:`ExecConfig.scheduler`.
 
-Migration: the legacy keyword triplet still works on every public entry
-point -- it is coerced into an ``ExecConfig`` by :func:`coerce_exec_config`
-with a :class:`DeprecationWarning` -- but new code should construct the
-config directly::
+The PR-3 migration is complete: the legacy keyword triplet is gone from
+every public entry point.  Passing one now raises a hard ``TypeError``
+with the replacement spelled out::
 
     from repro import ExecConfig, verify_aes
     result = verify_aes(exec=ExecConfig(jobs=8, backend="process"))
+
+The config is also where the proof farm is wired up:
+``backend="remote"`` plus ``remote_workers=("host:port", ...)`` (dial
+out to listening workers) or ``remote_listen="host:port"`` (bind and
+let workers dial in) shards obligations across hosts (DESIGN.md §16).
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
-from typing import Any, Optional, Union
+from typing import Any, Optional, Tuple, Union
 
 from .retry import RetryPolicy
 from .scheduler import BACKENDS, ObligationScheduler
 from .telemetry import Telemetry
 
-__all__ = ["ExecConfig", "RetryPolicy", "coerce_exec_config", "UNSET"]
+__all__ = ["ExecConfig", "RetryPolicy", "coerce_exec_config",
+           "reject_legacy_exec_kwargs"]
+
+#: The PR-3 legacy keywords, removed in PR 8.  Entry points keep catching
+#: them by name purely to raise a helpful ``TypeError`` (see
+#: :func:`reject_legacy_exec_kwargs`) instead of a bare
+#: "unexpected keyword argument".
+LEGACY_EXEC_KWARGS = ("jobs", "cache", "telemetry", "timeout_seconds",
+                      "obligation_timeout")
 
 
-class _Unset:
-    """Sentinel distinguishing 'not passed' from explicit None/False."""
-
-    def __repr__(self):
-        return "<unset>"
-
-
-#: Default value of deprecated keyword parameters.
-UNSET = _Unset()
+def _check_address(owner: str, value: Any) -> str:
+    """Validate a ``"host:port"`` address string (hostless ``":0"`` is
+    allowed for listen addresses -- bind all interfaces, ephemeral
+    port)."""
+    if not isinstance(value, str) or ":" not in value:
+        raise ValueError(f"{owner} addresses must be 'host:port' strings, "
+                         f"got {value!r}")
+    host, _, port = value.rpartition(":")
+    try:
+        port_num = int(port)
+    except ValueError:
+        raise ValueError(f"{owner}: port in {value!r} is not an integer")
+    if not 0 <= port_num <= 65535:
+        raise ValueError(f"{owner}: port in {value!r} out of range")
+    return value
 
 
 @dataclass(frozen=True)
@@ -48,8 +65,11 @@ class ExecConfig:
 
     ``jobs``             worker count; 1 is the guaranteed-deterministic
                          serial path.  None selects ``os.cpu_count()``.
-    ``backend``          'serial', 'thread' (GIL-bound, cheap start-up)
-                         or 'process' (true multi-core proving).
+                         For ``backend="remote"`` this caps the *total*
+                         in-flight leases across all connected workers.
+    ``backend``          'serial', 'thread' (GIL-bound, cheap start-up),
+                         'process' (true multi-core proving) or 'remote'
+                         (a proof farm of socket-connected worker hosts).
     ``cache``            a :class:`~repro.exec.cache.ResultCache`, None
                          for the process-wide default, or False to
                          disable caching outright.
@@ -64,16 +84,35 @@ class ExecConfig:
     ``timeout_seconds``  per-obligation wall bound; must be positive when
                          given (0 would silently *disable* the worker's
                          SIGALRM instead of enforcing a bound).  The
-                         process backend enforces it preemptively (SIGALRM
-                         in the worker); the thread backend can only
-                         abandon the overrun thread.
+                         process and remote backends enforce it
+                         preemptively (SIGALRM in the worker); the thread
+                         backend can only abandon the overrun thread.
     ``retries``          a :class:`RetryPolicy`, or an int coerced to one
                          (that many retries, default exponential backoff).
     ``on_error``         'raise' (propagate, the historical behaviour) or
                          'record' (mark the obligation ``errored``).
     ``on_backend_failure``  'raise' (an unusable backend aborts the run)
-                         or 'degrade' (fall back process→thread→serial,
-                         recording a ``degraded`` telemetry event).
+                         or 'degrade' (fall back remote→process→thread→
+                         serial, recording a ``degraded`` telemetry
+                         event).
+
+    Remote-backend fields (ignored by the local backends):
+
+    ``remote_workers``   addresses of listening workers
+                         (``python -m repro.exec.remote.worker --listen
+                         PORT``) the coordinator dials out to.
+    ``remote_listen``    a ``"host:port"`` bind address (port 0 for
+                         ephemeral) workers dial in to
+                         (``... --connect host:port``).
+    ``lease_timeout_seconds``  coordinator-side bound on one obligation
+                         lease; an expired lease closes the worker's
+                         connection and re-runs its in-flight work.  None
+                         derives a bound from ``timeout_seconds`` when
+                         that is set, else leases never expire.
+    ``remote_shared_cache``  when True (the default) workers read through
+                         to the coordinator's content-addressed
+                         :class:`~repro.exec.cache.ResultCache`, so any
+                         worker's verdict is every worker's warm hit.
     """
 
     jobs: Optional[int] = 1
@@ -85,6 +124,10 @@ class ExecConfig:
     retries: Union[int, RetryPolicy] = 0
     on_error: str = "raise"
     on_backend_failure: str = "raise"
+    remote_workers: Tuple[str, ...] = ()
+    remote_listen: Optional[str] = None
+    lease_timeout_seconds: Optional[float] = None
+    remote_shared_cache: bool = True
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -109,6 +152,32 @@ class ExecConfig:
         # Coerce a plain-int retry count to the equivalent policy so every
         # downstream consumer sees one type (the frozen-dataclass dance).
         object.__setattr__(self, "retries", RetryPolicy.coerce(self.retries))
+        # Remote fields: list → tuple (hashability), address syntax, and
+        # the backend="remote" ↔ worker-source consistency checks.
+        workers = self.remote_workers
+        if isinstance(workers, list):
+            workers = tuple(workers)
+            object.__setattr__(self, "remote_workers", workers)
+        if not isinstance(workers, tuple):
+            raise ValueError(f"remote_workers must be a tuple of "
+                             f"'host:port' strings, got {workers!r}")
+        for address in workers:
+            _check_address("remote_workers", address)
+        if self.remote_listen is not None:
+            _check_address("remote_listen", self.remote_listen)
+        if self.lease_timeout_seconds is not None \
+                and self.lease_timeout_seconds <= 0:
+            raise ValueError(f"lease_timeout_seconds must be positive, "
+                             f"got {self.lease_timeout_seconds!r}")
+        if not isinstance(self.remote_shared_cache, bool):
+            raise ValueError(f"remote_shared_cache must be a boolean, "
+                             f"got {self.remote_shared_cache!r}")
+        if self.backend == "remote" and not workers \
+                and self.remote_listen is None:
+            raise ValueError(
+                "backend='remote' needs a worker source: remote_workers="
+                "('host:port', ...) to dial out, or remote_listen="
+                "'host:port' to accept dial-ins")
 
     # -- derivation ---------------------------------------------------------
 
@@ -120,7 +189,11 @@ class ExecConfig:
             telemetry=self.telemetry,
             timeout_seconds=self.timeout_seconds, retries=self.retries,
             on_error=self.on_error, backend=self.backend,
-            on_backend_failure=self.on_backend_failure)
+            on_backend_failure=self.on_backend_failure,
+            remote_workers=self.remote_workers,
+            remote_listen=self.remote_listen,
+            lease_timeout_seconds=self.lease_timeout_seconds,
+            remote_shared_cache=self.remote_shared_cache)
 
     def with_telemetry(self, telemetry: Telemetry) -> "ExecConfig":
         """This config with ``telemetry`` bound (components that own a
@@ -134,15 +207,22 @@ class ExecConfig:
     #: absent: they are live objects owned by the executing side -- a
     #: remote client must never be able to name another tenant's cache.
     JSON_FIELDS = ("jobs", "backend", "timeout_seconds", "retries",
-                   "on_error", "on_backend_failure", "cache_memory_entries")
+                   "on_error", "on_backend_failure", "cache_memory_entries",
+                   "remote_workers", "remote_listen",
+                   "lease_timeout_seconds", "remote_shared_cache")
 
     def to_json(self) -> dict:
         """The JSON-portable fields of this config (see
-        :attr:`JSON_FIELDS`; ``retries`` dumps as the policy's dict)."""
+        :attr:`JSON_FIELDS`; ``retries`` dumps as the policy's dict,
+        ``remote_workers`` as a list)."""
         out = {}
         for name in self.JSON_FIELDS:
             value = getattr(self, name)
-            out[name] = value.to_json() if name == "retries" else value
+            if name == "retries":
+                value = value.to_json()
+            elif name == "remote_workers":
+                value = list(value)
+            out[name] = value
         return out
 
     @classmethod
@@ -165,53 +245,53 @@ class ExecConfig:
                 kwargs["retries"] = RetryPolicy(**retries)
             except TypeError as exc:
                 raise ValueError(f"bad retries policy: {exc}")
+        workers = kwargs.get("remote_workers")
+        if workers is not None and not isinstance(workers, (list, tuple)):
+            raise ValueError(f"remote_workers must be a list of "
+                             f"'host:port' strings, got {workers!r}")
         return cls(**kwargs)
 
     @property
     def effective_serial(self) -> bool:
         """True when obligations are guaranteed to run inline, in order,
-        on the calling thread."""
+        on the calling thread.  Never true for the remote backend: even
+        ``jobs=1`` ships work to a worker host."""
+        if self.backend == "remote":
+            return False
         return self.backend == "serial" or self.jobs == 1
 
 
-def coerce_exec_config(exec: Optional[ExecConfig], *, owner: str,
-                       jobs: Any = UNSET, cache: Any = UNSET,
-                       telemetry: Any = UNSET,
-                       timeout_seconds: Any = UNSET) -> ExecConfig:
-    """Resolve an entry point's ``exec=`` parameter against its deprecated
-    keyword shims.
-
-    Passing any legacy keyword builds an equivalent ``ExecConfig`` and
-    emits a :class:`DeprecationWarning` naming ``owner``; mixing legacy
-    keywords with an explicit ``exec=`` is an error (two sources of
-    truth).  With neither, the default config applies.
-    """
-    legacy = {name: value for name, value in
-              (("jobs", jobs), ("cache", cache), ("telemetry", telemetry),
-               ("timeout_seconds", timeout_seconds))
-              if value is not UNSET}
-    if exec is not None:
-        if not isinstance(exec, ExecConfig):
-            raise TypeError(
-                f"{owner}: exec must be an ExecConfig, got "
-                f"{type(exec).__name__} (legacy jobs=/cache=/telemetry= "
-                f"values must be passed by keyword)")
-        if legacy:
-            raise TypeError(
-                f"{owner}: pass either exec=ExecConfig(...) or the "
-                f"deprecated {sorted(legacy)} keywords, not both")
-        return exec
-    if not legacy:
+def coerce_exec_config(exec: Optional[ExecConfig], *,
+                       owner: str) -> ExecConfig:
+    """Resolve an entry point's ``exec=`` parameter: type-check an
+    explicit config, default to ``ExecConfig()`` when absent."""
+    if exec is None:
         return ExecConfig()
-    replacement = ", ".join(f"{name}={value!r}"
-                            for name, value in sorted(legacy.items()))
-    warnings.warn(
-        f"{owner}: the jobs=/cache=/telemetry= keyword triplet is "
-        f"deprecated; pass exec=ExecConfig({replacement}) instead",
-        DeprecationWarning, stacklevel=3)
-    jobs_value = legacy.get("jobs")
-    return ExecConfig(
-        jobs=1 if jobs_value is None else jobs_value,
-        cache=legacy.get("cache"),
-        telemetry=legacy.get("telemetry"),
-        timeout_seconds=legacy.get("timeout_seconds"))
+    if not isinstance(exec, ExecConfig):
+        raise TypeError(
+            f"{owner}: exec must be an ExecConfig, got "
+            f"{type(exec).__name__}")
+    return exec
+
+
+def reject_legacy_exec_kwargs(owner: str, kwargs: dict) -> None:
+    """Raise the post-migration ``TypeError`` for the removed PR-3 shim
+    keywords (``jobs=``/``cache=``/``telemetry=``/``obligation_timeout=``
+    and friends), with the replacement spelled out.  Entry points route
+    their ``**kwargs`` catch-all here; anything else in ``kwargs`` is a
+    genuinely unknown keyword and gets the stock message."""
+    if not kwargs:
+        return
+    legacy = sorted(set(kwargs) & set(LEGACY_EXEC_KWARGS))
+    if legacy:
+        hints = []
+        for name in legacy:
+            target = "timeout_seconds" if name == "obligation_timeout" \
+                else name
+            hints.append(f"{target}={kwargs[name]!r}")
+        raise TypeError(
+            f"{owner}: the legacy {legacy} keyword(s) were removed; "
+            f"pass exec=ExecConfig({', '.join(hints)}) instead")
+    unknown = sorted(kwargs)
+    raise TypeError(f"{owner}: unexpected keyword argument(s): "
+                    f"{', '.join(unknown)}")

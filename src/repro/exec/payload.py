@@ -17,12 +17,15 @@ exactly as it does in the parent.
 
 Worker-side context is memoized per process, keyed by content
 fingerprints: a package is re-analyzed once per worker (not once per VC),
-provers are reused per (package, subprogram) just as the thread backend
-reuses them per scheduler group, and theory evaluator pairs are reused
-per theory pair.  Reconstruction is deterministic -- ``analyze`` of the
-same AST, ``build_map``/``generate_lemmas`` of the same theories -- so a
-payload discharged in a worker produces the same result the parent-side
-thunk would have produced.
+and theory evaluator pairs are reused per theory pair.  Provers are the
+deliberate exception -- a prover instance accumulates search history, so
+one is constructed *per VC* (the session's inline path does the same),
+keeping every discharge a pure function of the payload's fields no
+matter which sibling VCs a worker saw first.  Reconstruction is
+deterministic -- ``analyze`` of the same AST, ``build_map``/
+``generate_lemmas`` of the same theories -- so a payload discharged in a
+worker produces the same result the parent-side thunk would have
+produced.
 
 Results travel back through ``encode_result``/``decode_result``:
 ``encode_result`` runs worker-side and maps the raw value onto plain
@@ -80,7 +83,6 @@ class ObligationPayload:
 # ---------------------------------------------------------------------------
 
 _TYPED_CACHE: Dict[str, Any] = {}
-_PROVER_CACHE: Dict[tuple, tuple] = {}
 _THEORY_CACHE: Dict[tuple, tuple] = {}
 #: Warm normalization batches already absorbed by this worker, keyed by
 #: (scope key, fingerprint tuple) -- every VC payload of a subprogram
@@ -99,24 +101,29 @@ def _typed_package(fp: str, package):
 
 
 def _provers(fp: str, package, subprogram: str, auto_timeout):
-    """(AutoProver, InteractiveProver) for one subprogram, reused across
-    the VCs a worker discharges for it -- the per-worker analogue of the
-    thread backend's per-group prover reuse.  Both share the worker's
-    process-wide normalization cache (warmed by :func:`_absorb_warm`)."""
-    key = (fp, subprogram, auto_timeout)
-    pair = _PROVER_CACHE.get(key)
-    if pair is None:
-        from ..logic.normcache import default_norm_cache
-        from ..prover.auto import AutoProver
-        from ..prover.tactics import InteractiveProver
-        typed = _typed_package(fp, package)
-        shared = default_norm_cache()
-        pair = (AutoProver(typed, subprogram_name=subprogram,
-                           timeout_seconds=auto_timeout, shared=shared),
-                InteractiveProver(typed, subprogram_name=subprogram,
-                                  shared=shared))
-        _PROVER_CACHE[key] = pair
-    return pair
+    """A *fresh* (AutoProver, InteractiveProver) pair for one VC.
+
+    Prover instances carry search history (the fresh-name counter, the
+    per-term memo caches), so a pair reused across VCs would make each
+    verdict depend on which sibling VCs this worker happened to
+    discharge earlier -- and with the farm handing every worker a
+    different subset of leases, on the shape of the farm itself.
+    Constructing per VC keeps a payload's outcome a pure function of
+    its fields: any distribution of obligations across threads,
+    processes, or remote workers produces the serial reference's
+    verdicts bit for bit.  The worker's process-wide normalization
+    cache (warmed by :func:`_absorb_warm`) is still shared across
+    constructions: a cached normal form is a pure function of
+    (rules, term), an accelerator that cannot move a verdict."""
+    from ..logic.normcache import default_norm_cache
+    from ..prover.auto import AutoProver
+    from ..prover.tactics import InteractiveProver
+    typed = _typed_package(fp, package)
+    shared = default_norm_cache()
+    return (AutoProver(typed, subprogram_name=subprogram,
+                       timeout_seconds=auto_timeout, shared=shared),
+            InteractiveProver(typed, subprogram_name=subprogram,
+                              shared=shared))
 
 
 def _absorb_warm(warm_key: str, warm_norms) -> None:

@@ -1,0 +1,426 @@
+"""The proof-farm coordinator: worker registry, leases, shared cache.
+
+One :class:`RemoteCoordinator` lives inside the scheduler's
+``backend='remote'`` run (:meth:`~repro.exec.scheduler
+.ObligationScheduler._run_remote`).  It owns the farm's connection
+state and speaks the versioned wire protocol of :mod:`repro.protocol`
+-- the scheduler only sees a lease API and an event queue:
+
+**Connections.**  Workers either dial in (``listen='host:port'``) or
+are dialed out to (``dial=('host:port', ...)`` -- each address gets a
+dialer thread that reconnects with backoff after a drop, so a worker
+that restarts rejoins the same run).  Every connection starts with a
+``hello``/``welcome`` handshake that *requires* a matching protocol
+version (:func:`~repro.protocol.check_protocol_version` with
+``required=True``): a version-skewed worker is rejected loudly with a
+``protocol_mismatch`` error, never silently tolerated.
+
+**Leases.**  An obligation is *leased* to a worker: the lease record is
+registered before the lease message is sent (journal-before-send, the
+discipline :mod:`repro.serve.journal` uses for requests), the worker
+``ack``\\ s receipt, and the terminal ``result`` message retires the
+lease.  A lease that outlives its deadline marks the whole connection
+suspect -- the coordinator closes it and blames every lease the worker
+held, exactly as if the host had died.
+
+**Failure taxonomy.**  A dead connection (EOF, send failure, protocol
+violation, expired lease) is one event: ``("lost", name, indices,
+reason)`` -- the scheduler blames those obligations and re-runs them
+solo, per PR 4's crash machinery.  A worker that loses leases
+``FLAP_STRIKES`` times is *quarantined by name*: its re-registrations
+are rejected (``("quarantined", name, reason)`` tells the scheduler to
+record telemetry).  An idle disconnect (no leases held) is not a
+strike -- reconnect churn on a quiet farm is not flapping.
+
+**Shared cache tier.**  A worker may ask ``cache_get`` before
+computing; the coordinator answers from the scheduler's
+content-addressed :class:`~repro.exec.cache.ResultCache` via the
+``cache_lookup`` callback (read-through).  The write-through half is
+the normal result path: the parent caches every verdict on receipt, so
+any worker's result is every later lease's warm hit.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ...protocol import PROTOCOL_VERSION, ProtocolError, \
+    check_protocol_version
+from .link import Link, decode_blob, encode_blob, parse_address
+
+__all__ = ["RemoteCoordinator"]
+
+
+class _Worker:
+    """One live connection's registry entry."""
+
+    def __init__(self, name: str, link: Link):
+        self.name = name
+        self.link = link
+        self.lease_ids: Set[str] = set()
+
+
+class _Lease:
+    def __init__(self, lease_id: str, index: int, worker: _Worker,
+                 deadline: Optional[float], key: Optional[str]):
+        self.lease_id = lease_id
+        self.index = index
+        self.worker = worker
+        self.deadline = deadline
+        self.key = key
+        self.acked = False
+
+
+class RemoteCoordinator:
+    #: Seconds a fresh connection gets to deliver its ``hello``.
+    HELLO_TIMEOUT = 10.0
+    #: Lease losses after which a worker name is quarantined.
+    FLAP_STRIKES = 2
+    #: Pause between reconnect attempts of a dialer thread.
+    DIAL_BACKOFF = 0.25
+    #: Lease-expiry scan period.
+    MONITOR_PERIOD = 0.1
+
+    def __init__(self, listen: Optional[str] = None,
+                 dial: Sequence[str] = (),
+                 cache_lookup: Optional[Callable[[str], object]] = None,
+                 lease_timeout: Optional[float] = None,
+                 per_worker: int = 2):
+        if listen is None and not dial:
+            raise ValueError("coordinator needs listen= or dial= workers")
+        self._listen = listen
+        self._dial = tuple(dial)
+        self._cache_lookup = cache_lookup
+        self._lease_timeout = lease_timeout
+        self._per_worker = max(1, per_worker)
+        #: Farm events for the scheduler: ("joined", name) |
+        #: ("result", index, result_tuple, name, served) |
+        #: ("lost", name, [indices], reason) |
+        #: ("quarantined", name, reason).
+        self.events: "queue.Queue[tuple]" = queue.Queue()
+        #: "host:port" actually bound when listening (port 0 resolved).
+        self.bound_address: Optional[str] = None
+        self._lock = threading.RLock()
+        self._joined = threading.Condition(self._lock)
+        self._workers: Dict[str, _Worker] = {}
+        self._leases: Dict[str, _Lease] = {}
+        #: Wire-form results already received this run, by cache key.
+        #: The read-through consults this before ``cache_lookup`` so a
+        #: ``cache_get`` racing the scheduler's own ``cache.put`` of a
+        #: just-delivered verdict still hits.
+        self._result_wire: Dict[str, object] = {}
+        self._strikes: Dict[str, int] = {}
+        self._quarantined: Set[str] = set()
+        self._sequence = 0
+        self._stopping = threading.Event()
+        self._server: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind/dial and start the service threads.  Raises ``OSError``
+        when the listen address cannot be bound."""
+        if self._listen is not None:
+            host, port = parse_address(self._listen)
+            server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            server.bind((host, port))
+            server.listen(16)
+            self._server = server
+            bound = server.getsockname()
+            self.bound_address = f"{bound[0]}:{bound[1]}"
+            self._spawn(self._accept_loop, "farm-accept")
+        for address in self._dial:
+            self._spawn(self._dial_loop, f"farm-dial-{address}", address)
+        self._spawn(self._monitor_loop, "farm-monitor")
+
+    def stop(self) -> None:
+        """Close every connection and stop the threads.  Idempotent."""
+        self._stopping.set()
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+        with self._lock:
+            workers = list(self._workers.values())
+            self._workers.clear()
+            self._leases.clear()
+        for worker in workers:
+            try:
+                worker.link.send({"op": "bye"})
+            except OSError:
+                pass
+            worker.link.close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def _spawn(self, target, name, *args) -> None:
+        thread = threading.Thread(target=target, args=args, name=name,
+                                  daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    # -- scheduler-facing API -----------------------------------------------
+
+    def live_workers(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def wait_for_workers(self, count: int, timeout: float) -> bool:
+        """Block until ``count`` workers are registered (True) or the
+        timeout passes (False)."""
+        deadline = time.monotonic() + timeout
+        with self._joined:
+            while len(self._workers) < count:
+                left = deadline - time.monotonic()
+                if left <= 0 or self._stopping.is_set():
+                    return False
+                self._joined.wait(timeout=left)
+            return True
+
+    def poll(self, timeout: Optional[float] = None) -> Optional[tuple]:
+        """The next farm event, or ``None`` after ``timeout``."""
+        try:
+            return self.events.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def lease(self, index: int, payload, retry_policy,
+              timeout_seconds: Optional[float], token: str,
+              cache_key: Optional[str],
+              avoid: Sequence[str] = ()) -> Optional[str]:
+        """Lease one obligation to the least-loaded worker with an open
+        slot, preferring workers not in ``avoid`` (the solo re-run of a
+        blamed obligation avoids the host that lost it, when another is
+        alive).  Returns the worker's name, or ``None`` when no worker
+        has capacity."""
+        while True:
+            with self._lock:
+                open_slots = [w for w in self._workers.values()
+                              if len(w.lease_ids) < self._per_worker]
+                if not open_slots:
+                    return None
+                preferred = [w for w in open_slots
+                             if w.name not in avoid] or open_slots
+                worker = min(preferred, key=lambda w: len(w.lease_ids))
+                self._sequence += 1
+                lease_id = f"L{self._sequence}"
+                deadline = (time.monotonic() + self._lease_timeout
+                            if self._lease_timeout is not None else None)
+                lease = _Lease(lease_id, index, worker, deadline,
+                               cache_key)
+                self._leases[lease_id] = lease
+                worker.lease_ids.add(lease_id)
+            message = {
+                "op": "lease", "lease": lease_id, "index": index,
+                "blob": encode_blob((payload, retry_policy)),
+                "timeout": timeout_seconds, "token": token,
+                "key": cache_key,
+            }
+            try:
+                worker.link.send(message)
+                return worker.name
+            except OSError as exc:
+                # The connection died at send time: this lease never
+                # reached the worker, so retire it *before* dropping the
+                # worker -- the obligation is not blamed, only the
+                # worker's other (delivered) leases are.
+                with self._lock:
+                    self._leases.pop(lease_id, None)
+                    worker.lease_ids.discard(lease_id)
+                self._drop_worker(worker, f"send failed: {exc}")
+                # Another worker may have capacity; try again.
+
+    # -- connection service -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                sock, _ = self._server.accept()
+            except OSError:
+                return   # server socket closed by stop()
+            self._spawn(self._serve_connection, "farm-conn", sock)
+
+    def _dial_loop(self, address: str) -> None:
+        """Keep one worker address connected: dial, serve, reconnect
+        with backoff after a drop.  Stops when the run ends or the
+        worker at that address is rejected (quarantined/mismatched)."""
+        while not self._stopping.is_set():
+            try:
+                sock = socket.create_connection(parse_address(address),
+                                                timeout=5.0)
+            except OSError:
+                if self._stopping.wait(self.DIAL_BACKOFF):
+                    return
+                continue
+            status = self._serve_connection(sock)
+            if status == "rejected" or self._stopping.is_set():
+                return
+            self._stopping.wait(self.DIAL_BACKOFF)
+
+    def _serve_connection(self, sock: socket.socket) -> str:
+        """Handshake, register, then pump messages until the connection
+        dies.  Returns ``"rejected"`` when the worker must not
+        reconnect (quarantined, duplicate, version mismatch)."""
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        link = Link(sock)
+        try:
+            hello = link.recv(timeout=self.HELLO_TIMEOUT)
+        except (ProtocolError, OSError, socket.timeout):
+            link.close()
+            return "rejected"
+        if hello is None or hello.get("op") != "hello":
+            link.close()
+            return "rejected"
+        name = hello.get("name")
+        if not isinstance(name, str) or not name:
+            self._reject(link, ProtocolError(
+                "bad_request", "hello must carry a non-empty worker name"))
+            return "rejected"
+        try:
+            check_protocol_version(hello.get("protocol"),
+                                   surface="farm-coordinator",
+                                   required=True)
+        except ProtocolError as exc:
+            self._reject(link, exc)
+            return "rejected"
+        with self._lock:
+            if name in self._quarantined:
+                self._reject(link, ProtocolError(
+                    "quarantined",
+                    f"worker {name!r} is quarantined (lost leases "
+                    f"{self._strikes.get(name, 0)} times)"))
+                return "rejected"
+            if name in self._workers:
+                self._reject(link, ProtocolError(
+                    "duplicate_id",
+                    f"worker {name!r} is already connected"))
+                return "rejected"
+            # Welcome inside the registration lock: TCP delivers in send
+            # order, so the worker sees the welcome before any lease the
+            # scheduler races to send it.
+            try:
+                link.send({"reply": "welcome",
+                           "protocol": PROTOCOL_VERSION,
+                           "shared_cache":
+                               self._cache_lookup is not None})
+            except OSError:
+                link.close()
+                return "rejected"
+            worker = _Worker(name, link)
+            self._workers[name] = worker
+            self._joined.notify_all()
+        self.events.put(("joined", name))
+        reason = "connection closed"
+        try:
+            while not self._stopping.is_set():
+                message = link.recv()
+                if message is None:
+                    break
+                self._handle(worker, message)
+        except ProtocolError as exc:
+            reason = f"protocol violation: {exc.detail}"
+        except OSError as exc:
+            reason = f"transport error: {exc}"
+        self._drop_worker(worker, reason)
+        return "closed"
+
+    def _reject(self, link: Link, error: ProtocolError) -> None:
+        try:
+            link.send(error.to_message())
+        except OSError:
+            pass
+        link.close()
+
+    def _handle(self, worker: _Worker, message: dict) -> None:
+        if message.get("reply") == "ack":
+            with self._lock:
+                lease = self._leases.get(message.get("lease"))
+                if lease is not None:
+                    lease.acked = True
+        elif message.get("reply") == "result":
+            with self._lock:
+                lease = self._leases.pop(message.get("lease"), None)
+                if lease is not None:
+                    lease.worker.lease_ids.discard(lease.lease_id)
+            if lease is None:
+                return   # stale: lease expired/blamed before the result
+            try:
+                result = decode_blob(message["blob"])
+            except Exception as exc:   # noqa: BLE001 - wire-data boundary
+                result = (lease.index, "errored",
+                          f"undecodable result blob from "
+                          f"{worker.name}: {exc}", 0.0, 1, (), None)
+            if lease.key is not None and len(result) > 2 \
+                    and result[1] == "ok":
+                with self._lock:
+                    self._result_wire[lease.key] = result[2]
+            self.events.put(("result", lease.index, result, worker.name,
+                             message.get("served", "computed")))
+        elif message.get("op") == "cache_get":
+            wire = None
+            key = message.get("key")
+            if isinstance(key, str):
+                with self._lock:
+                    wire = self._result_wire.get(key)
+            if wire is None and self._cache_lookup is not None \
+                    and isinstance(key, str):
+                wire = self._cache_lookup(key)
+            reply = {"reply": "cache_value",
+                     "lease": message.get("lease"), "hit": wire is not None,
+                     "wire": encode_blob(wire) if wire is not None
+                     else None}
+            worker.link.send(reply)
+        # Unknown messages are ignored: forward compatibility within a
+        # protocol generation.
+
+    # -- failure paths ------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(self.MONITOR_PERIOD):
+            now = time.monotonic()
+            with self._lock:
+                victims = {lease.worker for lease in self._leases.values()
+                           if lease.deadline is not None
+                           and lease.deadline <= now}
+            for worker in victims:
+                self._drop_worker(worker, "lease expired")
+
+    def _drop_worker(self, worker: _Worker, reason: str) -> None:
+        """Unified lost-connection path: unregister, blame every lease
+        the worker held, strike (and maybe quarantine) the name."""
+        newly_quarantined = False
+        with self._lock:
+            if self._workers.get(worker.name) is not worker:
+                worker.link.close()
+                return   # already dropped (monitor/reader race)
+            del self._workers[worker.name]
+            indices = []
+            for lease_id in sorted(worker.lease_ids):
+                lease = self._leases.pop(lease_id, None)
+                if lease is not None:
+                    indices.append(lease.index)
+            worker.lease_ids.clear()
+            if indices and not self._stopping.is_set():
+                strikes = self._strikes.get(worker.name, 0) + 1
+                self._strikes[worker.name] = strikes
+                if strikes >= self.FLAP_STRIKES \
+                        and worker.name not in self._quarantined:
+                    self._quarantined.add(worker.name)
+                    newly_quarantined = True
+        worker.link.close()
+        if self._stopping.is_set():
+            return
+        if indices:
+            self.events.put(("lost", worker.name, indices, reason))
+        if newly_quarantined:
+            self.events.put((
+                "quarantined", worker.name,
+                f"lost in-flight leases {self._strikes[worker.name]} "
+                f"times (flapping); re-registration rejected"))

@@ -2,7 +2,7 @@
 
 ``ObligationScheduler.run`` takes a list of :class:`Obligation` and
 returns one :class:`ObligationOutcome` per obligation, **in input order**
-regardless of completion order.  Three execution backends:
+regardless of completion order.  Four execution backends:
 
 * ``backend='serial'`` (or ``jobs == 1``) -- the guaranteed serial
   fallback: obligations run inline, one after another, on the calling
@@ -21,6 +21,16 @@ regardless of completion order.  Three execution backends:
   (:mod:`repro.logic.wire`), which re-interns them worker-side so
   hash-consing identity survives.  Obligations without a payload run
   inline on the parent.
+* ``backend='remote'`` -- a proof farm (:mod:`repro.exec.remote`):
+  obligations are *leased* to worker processes on other hosts over
+  sockets, shipping the same payloads via the same wire format as the
+  process backend (pickled term DAGs re-interned worker-side).  A shared
+  networked cache tier lets any worker read this scheduler's
+  content-addressed cache before computing, a lost connection blames
+  exactly that worker's leases (re-run solo, quarantine after
+  ``QUARANTINE_AFTER`` blames, flapping hosts rejected), and the
+  degradation chain extends to ``remote→process→thread→serial``.
+  See :meth:`ObligationScheduler._run_remote` and DESIGN.md §16.
 
 Obligations sharing a ``group`` are chained so they execute serially in
 submission order on every backend (per-subprogram prover state keeps its
@@ -86,11 +96,12 @@ __all__ = ["ObligationOutcome", "ObligationScheduler", "BACKENDS",
            "BackendUnusableError"]
 
 #: Recognized execution backends, in increasing order of isolation.
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "remote")
 
 #: Fallback taken by ``on_backend_failure='degrade'`` when a backend is
 #: unusable; ``serial`` has no fallback -- it cannot fail to exist.
-DEGRADE_CHAIN = {"process": "thread", "thread": "serial"}
+DEGRADE_CHAIN = {"remote": "process", "process": "thread",
+                 "thread": "serial"}
 
 OK = "ok"
 CACHED = "cached"
@@ -209,6 +220,14 @@ class ObligationScheduler:
     #: Parent-side slack (seconds) added on top of the per-obligation
     #: timeout before an unresponsive worker is abandoned.
     TIMEOUT_FALLBACK_SLACK = 5.0
+    #: Seconds the remote backend waits for at least one worker to join
+    #: (at start-up, and again after losing every worker mid-run) before
+    #: declaring the backend unusable.  Tests shrink this.
+    REMOTE_WORKER_GRACE = 10.0
+    #: Leases a single remote worker may hold at once.  2 keeps one
+    #: obligation queued behind the one executing, so the worker never
+    #: idles waiting on the coordinator's dispatch latency.
+    REMOTE_PER_WORKER_INFLIGHT = 2
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
@@ -218,7 +237,11 @@ class ObligationScheduler:
                  retries: Union[int, RetryPolicy] = 0,
                  on_error: str = "raise",
                  backend: str = "thread",
-                 on_backend_failure: str = "raise"):
+                 on_backend_failure: str = "raise",
+                 remote_workers: Sequence[str] = (),
+                 remote_listen: Optional[str] = None,
+                 lease_timeout_seconds: Optional[float] = None,
+                 remote_shared_cache: bool = True):
         self.jobs = max(1, jobs if jobs is not None else
                         (os.cpu_count() or 1))
         if backend not in BACKENDS:
@@ -253,6 +276,23 @@ class ObligationScheduler:
             raise ValueError(f"on_backend_failure must be 'raise' or "
                              f"'degrade', got {on_backend_failure!r}")
         self.on_backend_failure = on_backend_failure
+        self.remote_workers = tuple(remote_workers)
+        self.remote_listen = remote_listen
+        if lease_timeout_seconds is not None and lease_timeout_seconds <= 0:
+            raise ValueError(f"lease_timeout_seconds must be positive, "
+                             f"got {lease_timeout_seconds!r}")
+        self.lease_timeout_seconds = lease_timeout_seconds
+        self.remote_shared_cache = remote_shared_cache
+        if backend == "remote" and not self.remote_workers \
+                and self.remote_listen is None:
+            raise ValueError(
+                "backend='remote' needs a worker source: remote_workers="
+                "('host:port', ...) to dial out, or remote_listen="
+                "'host:port' to accept dial-ins")
+        #: The coordinator's actual bind address ("host:port"), once a
+        #: remote run with ``remote_listen`` has started (port 0 resolves
+        #: to the ephemeral port).  Workers dial this.
+        self.remote_bound_address: Optional[str] = None
 
     # -- public -------------------------------------------------------------
 
@@ -278,7 +318,11 @@ class ObligationScheduler:
         for ob in obligations:
             self.telemetry.record(ev.SUBMITTED, ob.kind, ob.label)
         backend = self.backend
-        if backend != "serial" and (self.jobs == 1 or len(obligations) <= 1):
+        # The remote backend is exempt from the small-batch serial
+        # shortcut: even one obligation ships to a worker host (that is
+        # the point of a farm -- the parent may be a thin coordinator).
+        if backend in ("thread", "process") \
+                and (self.jobs == 1 or len(obligations) <= 1):
             backend = "serial"
         while True:
             try:
@@ -286,8 +330,10 @@ class ObligationScheduler:
                     self._run_serial(obligations, stop_on, outcomes)
                 elif backend == "thread":
                     self._run_parallel(obligations, stop_on, outcomes)
-                else:
+                elif backend == "process":
                     self._run_process(obligations, stop_on, outcomes)
+                else:
+                    self._run_remote(obligations, stop_on, outcomes)
                 break
             except BackendUnusableError as exc:
                 fallback = DEGRADE_CHAIN.get(backend)
@@ -708,6 +754,308 @@ class ObligationScheduler:
             # cancel_futures drops queued work; wait unless an abandoned
             # (unresponsive) worker would block shutdown indefinitely.
             pool.shutdown(wait=not abandoned, cancel_futures=True)
+
+    # -- remote path --------------------------------------------------------
+
+    def _remote_lease_timeout(self) -> Optional[float]:
+        """The coordinator-side bound on one lease.  Explicit
+        ``lease_timeout_seconds`` wins; otherwise it derives from the
+        per-obligation timeout (a worker holds up to
+        ``REMOTE_PER_WORKER_INFLIGHT`` leases, each bounded worker-side
+        by SIGALRM, so the lease bound covers the worst-case queue wait
+        plus slack); with neither, leases never expire -- matching the
+        process backend's stance when no timeout is configured."""
+        if self.lease_timeout_seconds is not None:
+            return self.lease_timeout_seconds
+        if self.timeout_seconds is not None:
+            return (self.REMOTE_PER_WORKER_INFLIGHT
+                    * self.timeout_seconds * 1.5
+                    + self.TIMEOUT_FALLBACK_SLACK)
+        return None
+
+    def _run_remote(self, obligations, stop_on, outcomes) -> None:
+        """Dispatcher over a farm of socket-connected worker processes
+        (DESIGN.md §16).
+
+        Mirrors :meth:`_run_process`: group chaining is enforced
+        dispatcher-side, cache lookups happen in the parent immediately
+        before dispatch, and results are cached in the parent on receipt
+        -- so caching semantics and verdicts match the local backends
+        exactly.  The differences are the failure unit and the cache
+        tier: a dead *connection* (worker crash, kill -9, network drop,
+        expired lease) blames exactly that worker's in-flight leases --
+        other workers keep computing -- and the blamed obligations re-run
+        solo (preferring a different worker) under the same
+        ``QUARANTINE_AFTER`` discipline as the process backend.  A host
+        that flaps (loses leases repeatedly) is quarantined by the
+        coordinator: its re-registrations are rejected.  When
+        ``remote_shared_cache`` is on, workers read through to this
+        scheduler's content-addressed cache before computing, so any
+        worker's verdict is every worker's warm hit.
+
+        The backend is unusable (degradation chain: remote→process) when
+        no worker joins within ``REMOTE_WORKER_GRACE`` seconds at
+        start-up, or when every worker has been lost or quarantined
+        mid-run and no replacement joins within another grace period.
+        """
+        from .remote.coordinator import RemoteCoordinator
+
+        n = len(obligations)
+        remaining = [i for i in range(n) if outcomes[i] is None]
+        if not remaining:
+            return
+        successors: Dict[int, List[int]] = {}
+        predecessor: Dict[int, Optional[int]] = {i: None for i in remaining}
+        last_in_group: Dict[str, int] = {}
+        for i in remaining:
+            group = obligations[i].group
+            if group is not None:
+                if group in last_in_group:
+                    predecessor[i] = last_in_group[group]
+                    successors.setdefault(last_in_group[group],
+                                          []).append(i)
+                last_in_group[group] = i
+
+        # The shared cache tier: workers ask the coordinator for a key
+        # before computing; the lookup runs against this scheduler's own
+        # cache, re-encoded to the obligation's wire form.
+        by_key: Dict[str, Obligation] = {}
+        for i in remaining:
+            ob = obligations[i]
+            if ob.cache_key is not None and ob.payload is not None:
+                by_key.setdefault(ob.cache_key, ob)
+
+        def cache_lookup(key):
+            ob = by_key.get(key)
+            if ob is None or self.cache is None:
+                return None
+            hit, value = self.cache.get(key, decode=ob.decode)
+            if not hit:
+                return None
+            try:
+                return ob.encode(value) if ob.encode is not None \
+                    else ob.payload.encode_result(value)
+            except Exception:   # noqa: BLE001 - a cache miss, not a fault
+                return None
+
+        coordinator = RemoteCoordinator(
+            listen=self.remote_listen,
+            dial=self.remote_workers,
+            cache_lookup=(cache_lookup if self.remote_shared_cache
+                          and self.cache is not None else None),
+            lease_timeout=self._remote_lease_timeout(),
+            per_worker=self.REMOTE_PER_WORKER_INFLIGHT)
+        try:
+            coordinator.start()
+        except OSError as exc:
+            raise BackendUnusableError(
+                "remote", f"cannot start coordinator: {exc}")
+        self.remote_bound_address = coordinator.bound_address
+
+        ready = deque(i for i in remaining if predecessor[i] is None)
+        suspects: deque = deque()            # lost-lease blamed, re-run solo
+        crash_blame: Dict[int, int] = {}
+        blamed_on: Dict[int, str] = {}       # index -> worker that lost it
+        in_flight: Dict[int, str] = {}       # index -> worker name
+        finished = 0
+        target = len(remaining)
+        stopped = False
+        raise_exc = None
+
+        def finalize(index: int, outcome: ObligationOutcome):
+            nonlocal finished, stopped, raise_exc
+            outcomes[index] = outcome
+            finished += 1
+            ready.extend(successors.get(index, ()))
+            if outcome.status == ERRORED and self.on_error == "raise" \
+                    and raise_exc is None:
+                raise_exc = getattr(
+                    outcome, "_exception",
+                    RuntimeError(outcome.error or "obligation errored"))
+            if stop_on is not None and not stopped and stop_on(outcome):
+                stopped = True
+
+        def submit(index: int) -> bool:
+            """Dispatch one obligation: cache hit, inline (payloadless),
+            or lease to a worker.  Returns False when no worker has an
+            open lease slot (the caller waits for results or joins)."""
+            ob = obligations[index]
+            keyed = ob.cache_key is not None and self.cache is not None
+            if keyed:
+                t0 = time.perf_counter()
+                hit, value = self.cache.get(ob.cache_key, decode=ob.decode)
+                if hit:
+                    wall = time.perf_counter() - t0
+                    self.telemetry.record(ev.CACHED, ob.kind, ob.label,
+                                          wall=wall)
+                    finalize(index, ObligationOutcome(
+                        obligation=ob, status=CACHED, value=value,
+                        wall_seconds=wall))
+                    return True
+            if ob.payload is None:
+                # No declarative spec: nothing to ship; run on the parent
+                # (serial semantics; _execute records its own telemetry).
+                finalize(index, self._execute(ob))
+                return True
+            avoid = {blamed_on[index]} if index in blamed_on else ()
+            # ``jobs`` caps the *total* in-flight leases across the farm;
+            # work above the cap stays queued parent-side.
+            if len(in_flight) >= self.jobs:
+                return False
+            name = coordinator.lease(
+                index, ob.payload, self.retry_policy,
+                self.timeout_seconds, ob.label, ob.cache_key, avoid=avoid)
+            if name is None:
+                return False
+            self.telemetry.record(ev.STARTED, ob.kind, ob.label)
+            in_flight[index] = name
+            return True
+
+        try:
+            if not coordinator.wait_for_workers(
+                    1, self.REMOTE_WORKER_GRACE):
+                raise BackendUnusableError(
+                    "remote",
+                    f"no workers joined within "
+                    f"{self.REMOTE_WORKER_GRACE}s")
+            while finished < target:
+                # -- dispatch ------------------------------------------------
+                while not stopped and raise_exc is None:
+                    if suspects:
+                        # Solo re-verification: nothing else may fly until
+                        # each blamed suspect has been re-tried alone.
+                        if in_flight:
+                            break
+                        if not submit(suspects[0]):
+                            break
+                        suspects.popleft()
+                        if in_flight:
+                            break   # exactly one suspect in flight
+                        continue    # finalized without flying (cache hit)
+                    if not ready:
+                        break
+                    if not submit(ready[0]):
+                        break
+                    ready.popleft()
+                if finished >= target or raise_exc is not None:
+                    break
+                if not in_flight and not suspects and not ready:
+                    break   # stopped: the tail is skipped by run()
+                if not in_flight and coordinator.live_workers() == 0:
+                    # Pending work, no workers left (all lost or
+                    # quarantined): grant joiners one grace period.
+                    if not coordinator.wait_for_workers(
+                            1, self.REMOTE_WORKER_GRACE):
+                        raise BackendUnusableError(
+                            "remote",
+                            "every worker was lost or quarantined and no "
+                            f"replacement joined within "
+                            f"{self.REMOTE_WORKER_GRACE}s")
+                    continue
+                # -- collect -------------------------------------------------
+                event = coordinator.poll(timeout=0.25)
+                if event is None:
+                    continue
+                if event[0] == "result":
+                    _, index, result, name, served = event
+                    if index not in in_flight:
+                        continue   # stale: already blamed and requeued
+                    del in_flight[index]
+                    ob = obligations[index]
+                    keyed = ob.cache_key is not None \
+                        and self.cache is not None
+                    (_, status, wire, wall, attempts, retry_errors,
+                     exc_obj) = result
+                    for message in retry_errors:
+                        self.telemetry.record(ev.RETRIED, ob.kind,
+                                              ob.label, detail=message)
+                    if status == "ok":
+                        try:
+                            value = ob.decode(wire) \
+                                if ob.decode is not None \
+                                else ob.payload.decode_result(wire)
+                        except Exception as exc:   # noqa: BLE001 - bad wire data
+                            self.telemetry.record(
+                                ev.ERRORED, ob.kind, ob.label,
+                                detail=f"undecodable result from "
+                                       f"{name}: {exc}")
+                            outcome = ObligationOutcome(
+                                obligation=ob, status=ERRORED,
+                                error=f"undecodable result from "
+                                      f"{name}: {exc}")
+                            outcome._exception = exc   # type: ignore[attr-defined]
+                            finalize(index, outcome)
+                            continue
+                        self.telemetry.record(
+                            ev.FINISHED, ob.kind, ob.label, wall=wall,
+                            detail=f"worker={name} served={served}"
+                            + (" keyed" if keyed else ""))
+                        if attempts > 1 or crash_blame.get(index):
+                            self.telemetry.record(
+                                ev.RETRIED_OK, ob.kind, ob.label,
+                                detail=f"succeeded on attempt {attempts}"
+                                + (", after a lost worker"
+                                   if crash_blame.get(index) else ""))
+                        if keyed:
+                            self.cache.put(ob.cache_key, value,
+                                           encode=ob.encode)
+                        finalize(index, ObligationOutcome(
+                            obligation=ob, status=OK, value=value,
+                            wall_seconds=wall, attempts=attempts))
+                    elif status == "timed_out":
+                        self.telemetry.record(ev.TIMED_OUT, ob.kind,
+                                              ob.label, wall=wall)
+                        finalize(index, ObligationOutcome(
+                            obligation=ob, status=TIMED_OUT,
+                            wall_seconds=wall, attempts=attempts,
+                            error=f"hard timeout after "
+                                  f"{self.timeout_seconds}s on {name}"))
+                    else:
+                        self.telemetry.record(ev.ERRORED, ob.kind,
+                                              ob.label, wall=wall,
+                                              detail=str(wire))
+                        outcome = ObligationOutcome(
+                            obligation=ob, status=ERRORED,
+                            wall_seconds=wall, attempts=attempts,
+                            error=str(wire))
+                        outcome._exception = exc_obj \
+                            if exc_obj is not None \
+                            else RuntimeError(str(wire))   # type: ignore[attr-defined]
+                        finalize(index, outcome)
+                elif event[0] == "lost":
+                    _, name, indices, reason = event
+                    for index in indices:
+                        if in_flight.pop(index, None) is None:
+                            continue
+                        ob = obligations[index]
+                        blame = crash_blame.get(index, 0) + 1
+                        crash_blame[index] = blame
+                        blamed_on[index] = name
+                        self.telemetry.record(
+                            ev.CRASHED, ob.kind, ob.label,
+                            detail=f"worker {name} lost ({reason}); "
+                                   f"blame {blame}/{QUARANTINE_AFTER}")
+                        if blame >= QUARANTINE_AFTER:
+                            self.telemetry.record(
+                                ev.QUARANTINED, ob.kind, ob.label,
+                                detail=f"lost a worker {blame} times")
+                            finalize(index, ObligationOutcome(
+                                obligation=ob, status=CRASHED,
+                                attempts=blame,
+                                error=f"obligation lost a worker {blame} "
+                                      f"times ({reason}); quarantined"))
+                        else:
+                            suspects.append(index)
+                elif event[0] == "quarantined":
+                    _, name, reason = event
+                    self.telemetry.record(ev.QUARANTINED, "exec",
+                                          f"worker:{name}", detail=reason)
+                # "joined" events need no action: capacity is re-checked
+                # at the top of the dispatch loop.
+            if raise_exc is not None:
+                raise raise_exc
+        finally:
+            coordinator.stop()
 
     # -- one obligation -----------------------------------------------------
 

@@ -2,8 +2,10 @@
 evaluation and writes a combined report (used to produce EXPERIMENTS.md).
 
 Run as ``python -m repro.harness.runner [--quick] [--jobs N]
-[--backend {serial,thread,process}] [--timeout S] [--retries N]
+[--backend {serial,thread,process,remote}] [--timeout S] [--retries N]
 [--max-retry-delay S] [--on-backend-failure {raise,degrade}]
+[--remote-worker HOST:PORT]... [--remote-listen [HOST:]PORT]
+[--lease-timeout S] [--no-remote-shared-cache]
 [--incremental] [--manifest-dir DIR]``.  The flags map onto one
 :class:`~repro.exec.ExecConfig` driving the proof legs; the execution
 configuration (including the retry policy and any backend degradations)
@@ -203,6 +205,39 @@ def _parse_on_backend_failure(argv) -> str:
     return raw
 
 
+def _flag_values(argv, flag: str) -> list:
+    """Every occurrence of a repeatable ``--flag VALUE`` / ``--flag=VALUE``."""
+    values = []
+    for i, arg in enumerate(argv):
+        if arg == flag and i + 1 < len(argv):
+            values.append(argv[i + 1])
+        elif arg.startswith(flag + "="):
+            values.append(arg.split("=", 1)[1])
+    return values
+
+
+def _parse_remote(argv) -> dict:
+    """The proof-farm fields of the ExecConfig: ``--remote-worker`` is
+    repeatable (one listening worker address per flag), ``--remote-listen``
+    binds the coordinator for dial-in workers, ``--lease-timeout`` bounds
+    one obligation lease, ``--no-remote-shared-cache`` turns off the
+    coordinator's networked cache tier.  Address validation is
+    ExecConfig's own (``ValueError`` surfaces as a startup failure)."""
+    fields = {
+        "remote_workers": tuple(_flag_values(argv, "--remote-worker")),
+        "remote_listen": _flag_value(argv, "--remote-listen"),
+        "remote_shared_cache": "--no-remote-shared-cache" not in argv,
+    }
+    raw = _flag_value(argv, "--lease-timeout")
+    if raw is not None:
+        try:
+            fields["lease_timeout_seconds"] = float(raw)
+        except ValueError:
+            raise SystemExit(f"error: --lease-timeout expects seconds, "
+                             f"got {raw!r}")
+    return fields
+
+
 def _parse_incremental(argv):
     """``(manifest_dir, incremental)`` from ``--incremental`` /
     ``--manifest-dir``.  ``--incremental`` implies the default manifest
@@ -218,11 +253,15 @@ def _parse_incremental(argv):
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     quick = "--quick" in argv
-    config = ExecConfig(jobs=_parse_jobs(argv),
-                        backend=_parse_backend(argv),
-                        timeout_seconds=_parse_timeout(argv),
-                        retries=_parse_retry_policy(argv),
-                        on_backend_failure=_parse_on_backend_failure(argv))
+    try:
+        config = ExecConfig(jobs=_parse_jobs(argv),
+                            backend=_parse_backend(argv),
+                            timeout_seconds=_parse_timeout(argv),
+                            retries=_parse_retry_policy(argv),
+                            on_backend_failure=_parse_on_backend_failure(argv),
+                            **_parse_remote(argv))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
     manifest_dir, incremental = _parse_incremental(argv)
     if incremental and not os.environ.get("REPRO_CACHE_DIR"):
         print("note: --incremental replays verdicts from the result "
@@ -248,6 +287,10 @@ def main(argv=None) -> int:
         "retry_policy": config.retries.to_json(),
         "on_error": config.on_error,
         "on_backend_failure": config.on_backend_failure,
+        "remote_workers": list(config.remote_workers),
+        "remote_listen": config.remote_listen,
+        "lease_timeout_seconds": config.lease_timeout_seconds,
+        "remote_shared_cache": config.remote_shared_cache,
         "rewrite_hot_path": {
             "index_hits": impl.report.index_hits,
             "index_skipped_rules": impl.report.index_skipped_rules,

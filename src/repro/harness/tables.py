@@ -12,7 +12,8 @@ from ..aes.annotations import annotated_package
 from ..aes.fips197 import fips197_theory
 from ..aes.proof_scripts import aes_proof_scripts
 from ..defects import run_experiment, stage_table
-from ..exec.config import UNSET, ExecConfig, coerce_exec_config
+from ..exec.config import ExecConfig, coerce_exec_config, \
+    reject_legacy_exec_kwargs
 from ..extract import extract_specification
 from ..implication import ImplicationResult, prove_implication
 from ..lang import AnnotationCounts, count_annotations
@@ -45,19 +46,19 @@ def render_table1(counts: AnnotationCounts) -> str:
 
 @lru_cache(maxsize=None)
 def implementation_proof_stats(exec: Optional[ExecConfig] = None,
-                               jobs=UNSET,
                                manifest_dir: Optional[str] = None,
-                               incremental: bool = False
-                               ) -> ImplementationProofResult:
+                               incremental: bool = False,
+                               **legacy) -> ImplementationProofResult:
     """The full implementation proof over the annotated refactored AES
     (section 6.2.3's 306 VCs / 86.6% / 15-of-25 figures).  ``exec``
     configures the obligation scheduler (``ExecConfig`` is hashable, so
-    identical configurations share the memoized run); the bare ``jobs``
-    keyword is a deprecated shim.  ``manifest_dir``/``incremental``
-    (both hashable, so they key the memo too) enable edit-aware
-    re-verification via the run manifest (DESIGN.md §15)."""
-    config = coerce_exec_config(exec, owner="implementation_proof_stats",
-                                jobs=jobs)
+    identical configurations share the memoized run; the PR-3 era bare
+    ``jobs`` shim is gone and raises ``TypeError``).
+    ``manifest_dir``/``incremental`` (both hashable, so they key the
+    memo too) enable edit-aware re-verification via the run manifest
+    (DESIGN.md §15)."""
+    reject_legacy_exec_kwargs("implementation_proof_stats", legacy)
+    config = coerce_exec_config(exec, owner="implementation_proof_stats")
     typed = annotated_package()
     proof = ImplementationProof(typed, scripts=aes_proof_scripts(),
                                 exec=config, manifest=manifest_dir,
@@ -76,12 +77,12 @@ class ImplicationStats:
 
 @lru_cache(maxsize=None)
 def implication_proof_stats(exec: Optional[ExecConfig] = None,
-                            jobs=UNSET) -> ImplicationStats:
+                            **legacy) -> ImplicationStats:
     """Section 6.2.4: extracted-spec size, TCC accounting, lemma count.
-    ``exec`` configures the obligation scheduler; ``jobs`` is a
-    deprecated shim for it."""
-    config = coerce_exec_config(exec, owner="implication_proof_stats",
-                                jobs=jobs)
+    ``exec`` configures the obligation scheduler (the PR-3 era bare
+    ``jobs`` shim is gone and raises ``TypeError``)."""
+    reject_legacy_exec_kwargs("implication_proof_stats", legacy)
+    config = coerce_exec_config(exec, owner="implication_proof_stats")
     typed = annotated_package()
     extraction = extract_specification(typed)
     check = check_theory(extraction.theory)

@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from ..exec.config import UNSET, coerce_exec_config
+from ..exec.config import coerce_exec_config, reject_legacy_exec_kwargs
 from ..extract.mapper import ArchitecturalMap, build_map
 from ..extract.matchratio import MatchRatio, match_ratio
 from ..prover import AutoProver
@@ -78,16 +78,14 @@ class ImplicationResult:
 def prove_implication(original: s.Theory, extracted: s.Theory,
                       seed: int = 20090701,
                       exec=None,
-                      jobs=UNSET,
-                      cache=UNSET,
-                      telemetry=UNSET) -> ImplicationResult:
+                      **legacy) -> ImplicationResult:
     """Prove the implication theorem.
 
     Lemma discharge runs through the obligation scheduler
     (:mod:`repro.exec`): one ``lemma`` obligation per architectural-map
     element.  ``exec`` is the :class:`~repro.exec.ExecConfig` for the
-    run; the bare ``jobs``/``cache``/``telemetry`` keywords are
-    deprecated shims for it.  The serial path runs lemmas inline in the
+    run (the PR-3 era bare ``jobs``/``cache``/``telemetry`` shims are
+    gone and raise ``TypeError``).  The serial path runs lemmas inline in the
     historical order with the shared evaluator pair (bit-identical to
     the pre-scheduler path); a thread pool uses one evaluator pair per
     worker thread (``SpecEvaluator`` carries a mutable memo and step
@@ -100,8 +98,8 @@ def prove_implication(original: s.Theory, extracted: s.Theory,
 
     from ..exec import LemmaPayload, lemma_obligation, theory_fingerprint
 
-    config = coerce_exec_config(exec, owner="prove_implication",
-                                jobs=jobs, cache=cache, telemetry=telemetry)
+    reject_legacy_exec_kwargs("prove_implication", legacy)
+    config = coerce_exec_config(exec, owner="prove_implication")
 
     started = time.perf_counter()
     amap = build_map(original, extracted)

@@ -1,14 +1,15 @@
 """Deterministic canonical serialization of terms.
 
 Cache keys for proof obligations (:mod:`repro.exec.cache`) must be stable
-across processes.  The smart constructors order commutative arguments by
-interning id (:func:`repro.logic.builders._sorted_args`), and interning
-ids depend on construction order -- two processes that build the same
-logical term along different paths hold DAGs whose commutative argument
-tuples may differ.  Python hash randomization never leaks into terms
-(argument tuples, not sets, everywhere), but the id-ordering does.
+across processes, and -- since the distributed proof farm (DESIGN.md §16)
+promises verdicts bit-identical to the serial backend -- so must the
+in-memory canonical form of every term.  The smart constructors
+(:func:`repro.logic.builders._sorted_args`) order commutative arguments
+by the :func:`fingerprint` defined here, which is independent of
+construction order and process history.  Python hash randomization never
+leaks into terms either (argument tuples, not sets, everywhere).
 
-This module therefore re-canonicalizes *at serialization time*:
+Two canonical views:
 
 ``fingerprint``     a Merkle-style SHA-256 digest computed bottom-up over
                     the DAG.  Commutative operators hash the *sorted*

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -65,9 +66,27 @@ def _rules_context(typed: TypedPackage):
     return SubprogramContext(typed, dummy)
 
 
+#: Package axioms are a pure function of the typed package, and prover
+#: instances are constructed per VC (instance state is search history;
+#: see :class:`AutoProver`), so re-translating every contract and proof
+#: rule on each construction would put hundreds of translations on the
+#: corpus hot path.  Weak keys: the memo must not outlive the package.
+_AXIOMS_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def package_axioms(typed: TypedPackage) -> List[Axiom]:
     """Axioms contributed by the package: proof rules and function
-    contracts (``pre => post[Result := f(params)]``)."""
+    contracts (``pre => post[Result := f(params)]``).  Memoized per
+    package object."""
+    cached = _AXIOMS_MEMO.get(typed)
+    if cached is not None:
+        return list(cached)
+    axioms = _package_axioms(typed)
+    _AXIOMS_MEMO[typed] = tuple(axioms)
+    return axioms
+
+
+def _package_axioms(typed: TypedPackage) -> List[Axiom]:
     axioms: List[Axiom] = []
     for rule in typed.proof_rules:
         rule_sp = ast.Subprogram(name=f"<rule {rule.name}>",
@@ -155,7 +174,18 @@ class AutoProver:
         rules never mix with the plain simplifier's entries).  It is only
         consulted when the type-bound hook is the canonical one derived
         from ``(typed, subprogram_name)`` -- a caller-supplied ``hook``
-        changes normal forms in ways the scope key cannot see."""
+        changes normal forms in ways the scope key cannot see.
+
+        An instance accumulates *search history* -- the fresh-name
+        counter behind ``_forall_intro`` and the per-term memo caches --
+        so proving a second goal on the same instance can take a
+        different trajectory than proving it on a fresh one (fresh
+        variable names feed fingerprints, and fingerprints order
+        commutative arguments).  Callers that need verdicts independent
+        of what else ran in the process (the proof session, the farm's
+        workers) construct one prover per VC; the ``shared``
+        normalization cache is the part that is safe to share, because
+        a cached normal form is a pure function of (rules, term)."""
         self.typed = typed
         custom_hook = hook is not None
         if custom_hook:

@@ -18,7 +18,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..exec import VCPayload, package_fingerprint, vc_obligation
 from ..exec import events as ev
 from ..exec.cache import default_cache
-from ..exec.config import UNSET, ExecConfig, coerce_exec_config
+from ..exec.config import ExecConfig, coerce_exec_config, \
+    reject_legacy_exec_kwargs
 from ..exec.telemetry import default_telemetry
 from ..incr.fingerprint import cone_fingerprints
 from ..incr.manifest import coerce_manifest_store, run_config_digest
@@ -134,16 +135,13 @@ class ImplementationProof:
                  norm_cache: Optional[NormalizationCache] = None,
                  manifest=None,
                  incremental: bool = False,
-                 jobs=UNSET,
-                 cache=UNSET,
-                 telemetry=UNSET,
-                 obligation_timeout=UNSET):
+                 **legacy):
         """``scripts`` maps a subprogram name to the proof scripts to try,
         in order, on each of its undischarged VCs.  ``exec`` configures the
         obligation scheduler (backend, jobs, cache, telemetry, per-VC
-        timeout -- overruns map to ``undischarged``); the bare
-        ``jobs``/``cache``/``telemetry``/``obligation_timeout`` keywords
-        are deprecated shims for it.  ``norm_cache`` optionally supplies a
+        timeout -- overruns map to ``undischarged``); the PR-3 era
+        ``jobs``/``cache``/``telemetry``/``obligation_timeout`` shims are
+        gone and raise ``TypeError``.  ``norm_cache`` optionally supplies a
         caller-owned :class:`~repro.logic.NormalizationCache` so warm
         normal forms survive beyond this session (the serve layer keeps
         one per tenant namespace across requests); by default the session
@@ -156,6 +154,7 @@ class ImplementationProof:
         unchanged straight from the result cache (DESIGN.md §15).
         Incremental mode without a manifest store is a contradiction and
         fails loudly."""
+        reject_legacy_exec_kwargs("ImplementationProof", legacy)
         self.typed = typed
         self.limits = limits
         self.scripts = scripts or {}
@@ -164,9 +163,7 @@ class ImplementationProof:
         if self.incremental and self.manifest is None:
             raise ValueError("incremental=True requires manifest= "
                              "(a ManifestStore or a directory path)")
-        self.exec = coerce_exec_config(
-            exec, owner="ImplementationProof", jobs=jobs, cache=cache,
-            telemetry=telemetry, timeout_seconds=obligation_timeout)
+        self.exec = coerce_exec_config(exec, owner="ImplementationProof")
         #: Guards lazy per-subprogram prover construction across scheduler
         #: worker threads.  One lock per proof session: every discharge
         #: thunk synchronizes on this same instance (a per-call fallback
@@ -210,8 +207,10 @@ class ImplementationProof:
         report = examiner.examine(check_names)
 
         package_fp = package_fingerprint(self.typed)
-        auto_provers: Dict[str, AutoProver] = {}
-        interactive_provers: Dict[str, InteractiveProver] = {}
+        #: Per-subprogram rewriting instrumentation folded out of the
+        #: per-VC provers as they retire (the provers themselves are
+        #: constructed and discarded inside each discharge thunk).
+        hotpath: Dict[str, Dict[str, int]] = {}
 
         # Assemble the outcome list as slots so simplifier-discharged VCs
         # keep their historical interleaved positions.
@@ -225,8 +224,7 @@ class ImplementationProof:
                     slots.append(("done", VCOutcome(vc=vc,
                                                     stage="simplifier")))
                     continue
-                discharge = self._discharger(vc, auto_provers,
-                                             interactive_provers)
+                discharge = self._discharger(vc, hotpath)
                 warm_key, warm_norms = self._warm_norms(vc.subprogram,
                                                         warm_cache)
                 payload = VCPayload(
@@ -249,19 +247,10 @@ class ImplementationProof:
         # cross-obligation cache) happens during discharge, after the
         # examiner's numbers were taken.  Parent-side provers only -- the
         # process backend's counters live and die in its workers.
-        for name, prover in auto_provers.items():
+        for name, counters in hotpath.items():
             analysis = report.per_subprogram.get(name)
             if analysis is None:
                 continue
-            counters = prover.hotpath_counters()
-            analysis.index_hits += counters["index_hits"]
-            analysis.index_skipped_rules += counters["index_skipped_rules"]
-            analysis.cross_vc_hits += counters["cross_vc_hits"]
-        for name, prover in interactive_provers.items():
-            analysis = report.per_subprogram.get(name)
-            if analysis is None:
-                continue
-            counters = prover.auto.hotpath_counters()
             analysis.index_hits += counters["index_hits"]
             analysis.index_skipped_rules += counters["index_skipped_rules"]
             analysis.cross_vc_hits += counters["cross_vc_hits"]
@@ -404,11 +393,13 @@ class ImplementationProof:
 
     def _warm_norms(self, subprogram: str, memo: Dict[str, tuple]):
         """``(scope_key, (fingerprints, wire))`` of the examiner-warmed
-        normal forms for one subprogram -- or ``(None, None)`` off the
-        process backend, where every thunk shares the live session cache
-        and shipping would be dead weight.  Computed once per subprogram
-        (the same tuple rides every one of its VC payloads)."""
-        if self.exec.backend != "process":
+        normal forms for one subprogram -- or ``(None, None)`` on the
+        in-process backends, where every thunk shares the live session
+        cache and shipping would be dead weight.  Computed once per
+        subprogram (the same tuple rides every one of its VC payloads);
+        a pure accelerator for process and farm workers, never a
+        verdict input."""
+        if self.exec.backend not in ("process", "remote"):
             return None, None
         entry = memo.get(subprogram)
         if entry is None:
@@ -435,46 +426,61 @@ class ImplementationProof:
         return ";".join(parts)
 
     def _discharger(self, vc: VCRecord,
-                    auto_provers: Dict[str, AutoProver],
-                    interactive_provers: Dict[str, InteractiveProver]):
+                    hotpath: Dict[str, Dict[str, int]]):
         """The thunk for one VC: auto prover, then interactive scripts --
-        exactly the historical inline sequence.  Provers are created
-        lazily per subprogram; obligations of one subprogram share a
-        scheduler group, so each prover is only ever driven by one thread
-        at a time and sees its VCs in the serial order."""
+        exactly the historical inline sequence.  Provers are constructed
+        *per VC*: an instance accumulates search history (fresh-name
+        counters, per-term memos) that would make this VC's verdict
+        depend on which siblings happened to run earlier on the same
+        instance -- and the farm's workers each see a different sibling
+        history than the serial order, so per-VC construction is what
+        keeps every backend and every obligation distribution
+        bit-identical.  The session normalization cache stays shared: a
+        cached normal form is a pure function of (rules, term), so
+        warmth moves wall clock, never verdicts.  Hot-path counters are
+        folded into ``hotpath`` as each prover retires."""
 
         def discharge():
-            with self._provers_lock:
-                prover = auto_provers.get(vc.subprogram)
-                if prover is None:
-                    prover = AutoProver(
-                        self.typed, subprogram_name=vc.subprogram,
-                        timeout_seconds=self.AUTO_TIMEOUT_SECONDS,
-                        shared=self._norm_cache)
-                    auto_provers[vc.subprogram] = prover
+            prover = AutoProver(
+                self.typed, subprogram_name=vc.subprogram,
+                timeout_seconds=self.AUTO_TIMEOUT_SECONDS,
+                shared=self._norm_cache)
             result = prover.prove(vc.simplified.simplified)
+            self._fold_hotpath(hotpath, vc.subprogram, prover)
             if result.proved:
                 return "auto", result
-            outcome = self._try_scripts(vc, interactive_provers)
+            outcome = self._try_scripts(vc, hotpath)
             return outcome.stage, outcome.result
 
         return discharge
 
+    def _fold_hotpath(self, hotpath: Dict[str, Dict[str, int]],
+                      subprogram: str, prover: AutoProver) -> None:
+        """Accumulate one retired prover's rewriting instrumentation
+        (thread-safe: dischargers run concurrently on the thread
+        backend)."""
+        counters = prover.hotpath_counters()
+        with self._provers_lock:
+            acc = hotpath.setdefault(subprogram, {
+                "index_hits": 0, "index_skipped_rules": 0,
+                "cross_vc_hits": 0})
+            for key, value in counters.items():
+                acc[key] += value
+
     def _try_scripts(self, vc: VCRecord,
-                     interactive_provers: Dict[str, InteractiveProver]
-                     ) -> VCOutcome:
+                     hotpath: Dict[str, Dict[str, int]]) -> VCOutcome:
         scripts = self.scripts.get(vc.subprogram, ())
         if not scripts:
             return VCOutcome(vc=vc, stage="undischarged")
-        with self._provers_lock:
-            prover = interactive_provers.get(vc.subprogram)
-            if prover is None:
-                prover = InteractiveProver(self.typed,
-                                           subprogram_name=vc.subprogram,
-                                           shared=self._norm_cache)
-                interactive_provers[vc.subprogram] = prover
-        for script in scripts:
-            result = prover.run_script(vc.simplified.simplified, script)
-            if result.proved:
-                return VCOutcome(vc=vc, stage="interactive", result=result)
-        return VCOutcome(vc=vc, stage="undischarged", result=result)
+        prover = InteractiveProver(self.typed,
+                                   subprogram_name=vc.subprogram,
+                                   shared=self._norm_cache)
+        try:
+            for script in scripts:
+                result = prover.run_script(vc.simplified.simplified, script)
+                if result.proved:
+                    return VCOutcome(vc=vc, stage="interactive",
+                                     result=result)
+            return VCOutcome(vc=vc, stage="undischarged", result=result)
+        finally:
+            self._fold_hotpath(hotpath, vc.subprogram, prover.auto)

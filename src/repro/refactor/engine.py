@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..equiv import EquivalenceTheorem, prove_equivalence
-from ..exec.config import UNSET, ExecConfig, coerce_exec_config
+from ..exec.config import ExecConfig, coerce_exec_config, \
+    reject_legacy_exec_kwargs
 from ..lang import TypedPackage, analyze, ast
 from ..lang.errors import TypeError_
 
@@ -159,9 +160,8 @@ class RefactoringEngine:
                  seed: int = 20090701,
                  samplers: Optional[dict] = None,
                  exec: Optional[ExecConfig] = None,
-                 jobs=UNSET,
-                 cache=UNSET,
-                 telemetry=UNSET):
+                 **legacy):
+        reject_legacy_exec_kwargs("RefactoringEngine", legacy)
         self.typed = analyze(package)
         self.observables = list(observables)
         self.check = check
@@ -173,11 +173,8 @@ class RefactoringEngine:
         self.history: List[Tuple[Application, ast.Package]] = []
         #: obligation-scheduler configuration: differential trials fan out
         #: one obligation per trial when ``jobs > 1`` (see
-        #: ``_differential``).  ``jobs``/``cache``/``telemetry`` are
-        #: deprecated shims for ``exec``.
-        self.exec = coerce_exec_config(
-            exec, owner="RefactoringEngine", jobs=jobs, cache=cache,
-            telemetry=telemetry)
+        #: ``_differential``).
+        self.exec = coerce_exec_config(exec, owner="RefactoringEngine")
 
     @property
     def package(self) -> ast.Package:

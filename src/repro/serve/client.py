@@ -23,6 +23,8 @@ import sys
 import threading
 from typing import Dict, List, Optional
 
+from ..protocol import PROTOCOL_VERSION
+
 __all__ = ["ServeClient", "ClientError"]
 
 _REPLY_KINDS = ("accepted", "pong", "status", "error", "bye", "listening")
@@ -154,6 +156,7 @@ class ServeClient:
     # -- requests ------------------------------------------------------------
 
     def _send(self, message: dict) -> None:
+        message.setdefault("protocol", PROTOCOL_VERSION)
         self._send_line(json.dumps(message, separators=(",", ":"))
                         .encode("utf-8") + b"\n")
 

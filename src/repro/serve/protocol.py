@@ -20,7 +20,14 @@ Server → client replies
 -----------------------
 ``pong`` / ``status`` / ``accepted`` / ``event`` / ``result`` / ``bye``
 and ``error`` (with a machine-readable ``code``:
-``bad_request`` | ``backpressure`` | ``duplicate_id`` | ``unknown_id``).
+``bad_request`` | ``backpressure`` | ``duplicate_id`` | ``unknown_id`` |
+``protocol_mismatch``).
+
+Versioning: the framing primitives, error envelope, and
+``PROTOCOL_VERSION`` live in the shared :mod:`repro.protocol` module
+(the proof-farm coordinator speaks the same generation).  Clients may
+advertise ``"protocol": N`` on any message; a mismatched version is
+rejected with ``protocol_mismatch``, an absent field is tolerated.
 
 A ``submit`` names a package (the AES corpus or inline MiniAda source),
 a request ``kind`` (``examine`` | ``prove`` | ``refactor``), an optional
@@ -34,19 +41,19 @@ travel, so a client cannot name another tenant's cache).
 
 from __future__ import annotations
 
-import json
 import re
-from typing import Any, Dict, Optional
+from typing import Optional
 
 from ..exec.config import ExecConfig
+from ..protocol import (ERROR_CODES, MAX_LINE_BYTES, PROTOCOL_VERSION,
+                        ProtocolError, check_protocol_version,
+                        encode_message, parse_json_line)
 
 __all__ = [
     "PROTOCOL_VERSION", "LANES", "LANE_PRIORITY", "REQUEST_KINDS", "OPS",
     "ERROR_CODES", "ProtocolError", "decode_line", "encode_message",
     "normalize_submit", "default_lane",
 ]
-
-PROTOCOL_VERSION = 1
 
 #: Priority lanes, highest priority first.  ``interactive`` is meant for
 #: examiner queries a human is waiting on; ``bulk`` for corpus proofs.
@@ -55,7 +62,6 @@ LANE_PRIORITY = LANES   # dispatch preference order
 
 REQUEST_KINDS = ("examine", "prove", "refactor")
 OPS = ("ping", "status", "submit", "wait", "shutdown")
-ERROR_CODES = ("bad_request", "backpressure", "duplicate_id", "unknown_id")
 
 #: Kind → lane when the client does not pick one: examiner queries are
 #: interactive by nature, proofs and refactoring chains are bulk work.
@@ -68,51 +74,21 @@ _ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 #: Tenant namespaces name per-tenant cache directories, same discipline.
 _NAMESPACE_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
-_MAX_LINE_BYTES = 8 * 1024 * 1024   # an inline MiniAda package fits easily
-
-
-class ProtocolError(Exception):
-    """A client-visible protocol failure, rendered as an ``error`` reply."""
-
-    def __init__(self, code: str, detail: str,
-                 request_id: Optional[str] = None):
-        assert code in ERROR_CODES, code
-        super().__init__(f"{code}: {detail}")
-        self.code = code
-        self.detail = detail
-        self.request_id = request_id
-
-    def to_message(self) -> dict:
-        msg = {"reply": "error", "code": self.code, "detail": self.detail}
-        if self.request_id is not None:
-            msg["id"] = self.request_id
-        return msg
-
-
-def encode_message(message: Dict[str, Any]) -> str:
-    """One wire line (newline-terminated, newline-free payload)."""
-    return json.dumps(message, separators=(",", ":"),
-                      ensure_ascii=True) + "\n"
+_MAX_LINE_BYTES = MAX_LINE_BYTES   # an inline MiniAda package fits easily
 
 
 def decode_line(line: str) -> dict:
     """Parse one client line into a message dict, or raise
-    :class:`ProtocolError` (oversize, non-JSON, non-object, bad op)."""
-    if len(line) > _MAX_LINE_BYTES:
-        raise ProtocolError("bad_request",
-                            f"line exceeds {_MAX_LINE_BYTES} bytes")
-    try:
-        message = json.loads(line)
-    except ValueError:
-        raise ProtocolError("bad_request", "line is not valid JSON")
-    if not isinstance(message, dict):
-        raise ProtocolError("bad_request",
-                            f"expected a JSON object, got "
-                            f"{type(message).__name__}")
+    :class:`ProtocolError` (oversize, non-JSON, non-object, bad op,
+    version mismatch).  A client that advertises a ``protocol`` field is
+    held to it; one that omits it is accepted (version-1 clients predate
+    the field)."""
+    message = parse_json_line(line, max_bytes=_MAX_LINE_BYTES)
     op = message.get("op")
     if op not in OPS:
         raise ProtocolError("bad_request",
                             f"op must be one of {list(OPS)}, got {op!r}")
+    check_protocol_version(message.get("protocol"), surface="serve")
     return message
 
 

@@ -1,22 +1,19 @@
-"""ExecConfig API tests: the unified ``exec=`` parameter, the deprecated
-``jobs=/cache=/telemetry=`` keyword shims (warn + behave identically),
-validation, and the stable top-level public surface."""
+"""ExecConfig API tests: the finalized ``exec=`` parameter, the hard
+``TypeError`` on the removed PR-3 legacy keywords, remote-backend field
+validation, the JSON wire form, and the stable top-level public surface."""
 
 import warnings
 
 import pytest
 
 from repro.exec import (
-    ExecConfig, ObligationScheduler, ResultCache, RetryPolicy, Telemetry,
+    ExecConfig, ObligationScheduler, RetryPolicy, Telemetry,
     coerce_exec_config,
 )
-from repro.exec.config import UNSET
+from repro.exec.config import LEGACY_EXEC_KWARGS, reject_legacy_exec_kwargs
 from repro.lang import analyze, parse_package
-from repro.prover import ImplementationProof
-from repro.spec import parse_theory
 
-from tests.test_core_harness import PROGRAM, SPEC
-from tests.test_exec_scheduler import SRC, outcome_key
+from tests.test_exec_scheduler import SRC
 
 
 class TestExecConfig:
@@ -32,6 +29,10 @@ class TestExecConfig:
         assert config.retries.retries == 0
         assert config.on_error == "raise"
         assert config.on_backend_failure == "raise"
+        assert config.remote_workers == ()
+        assert config.remote_listen is None
+        assert config.lease_timeout_seconds is None
+        assert config.remote_shared_cache is True
         assert config.effective_serial
 
     def test_scheduler_derivation(self):
@@ -47,6 +48,18 @@ class TestExecConfig:
         assert scheduler.timeout_seconds == 2.0
         assert scheduler.retries == 1
         assert scheduler.on_error == "record"
+
+    def test_scheduler_derivation_remote_fields(self):
+        scheduler = ExecConfig(
+            backend="remote", jobs=4, cache=False, telemetry=Telemetry(),
+            remote_workers=("farm1:9000", "farm2:9000"),
+            lease_timeout_seconds=30.0,
+            remote_shared_cache=False).scheduler()
+        assert scheduler.backend == "remote"
+        assert scheduler.remote_workers == ("farm1:9000", "farm2:9000")
+        assert scheduler.remote_listen is None
+        assert scheduler.lease_timeout_seconds == 30.0
+        assert scheduler.remote_shared_cache is False
 
     def test_validation(self):
         with pytest.raises(ValueError, match="backend"):
@@ -94,131 +107,180 @@ class TestExecConfig:
         assert config.jobs == 2
 
 
+class TestRemoteFields:
+    def test_remote_backend_requires_worker_source(self):
+        with pytest.raises(ValueError, match="worker source"):
+            ExecConfig(backend="remote")
+        # either source alone satisfies the check
+        ExecConfig(backend="remote", remote_workers=("h:1",))
+        ExecConfig(backend="remote", remote_listen="127.0.0.1:0")
+
+    def test_address_validation(self):
+        with pytest.raises(ValueError, match="host:port"):
+            ExecConfig(remote_workers=("nocolon",))
+        with pytest.raises(ValueError, match="not an integer"):
+            ExecConfig(remote_workers=("host:http",))
+        with pytest.raises(ValueError, match="out of range"):
+            ExecConfig(remote_workers=("host:70000",))
+        with pytest.raises(ValueError, match="host:port"):
+            ExecConfig(remote_listen=9000)
+        # hostless ":0" binds all interfaces on an ephemeral port
+        assert ExecConfig(remote_listen=":0").remote_listen == ":0"
+
+    def test_worker_list_coerced_to_tuple(self):
+        config = ExecConfig(remote_workers=["a:1", "b:2"])
+        assert config.remote_workers == ("a:1", "b:2")
+        assert hash(config)                       # stays hashable
+        with pytest.raises(ValueError, match="remote_workers"):
+            ExecConfig(remote_workers="host:1")   # a bare string is a bug
+
+    def test_lease_timeout_and_shared_cache_validation(self):
+        with pytest.raises(ValueError, match="lease_timeout_seconds"):
+            ExecConfig(lease_timeout_seconds=0)
+        with pytest.raises(ValueError, match="remote_shared_cache"):
+            ExecConfig(remote_shared_cache="yes")
+
+    def test_remote_is_never_effectively_serial(self):
+        config = ExecConfig(backend="remote", jobs=1,
+                            remote_workers=("h:1",))
+        assert not config.effective_serial
+
+
+class TestJsonWireForm:
+    def test_round_trip_including_remote_fields(self):
+        config = ExecConfig(
+            jobs=6, backend="remote", timeout_seconds=4.5,
+            retries=RetryPolicy(retries=2, base_delay=0.01),
+            on_error="record", on_backend_failure="degrade",
+            cache_memory_entries=128,
+            remote_workers=("farm1:9000", "farm2:9000"),
+            lease_timeout_seconds=20.0, remote_shared_cache=False)
+        data = config.to_json()
+        assert data["remote_workers"] == ["farm1:9000", "farm2:9000"]
+        assert ExecConfig.from_json(data) == config
+
+    def test_round_trip_defaults(self):
+        config = ExecConfig()
+        assert ExecConfig.from_json(config.to_json()) == config
+
+    def test_cache_and_telemetry_never_travel(self):
+        data = ExecConfig(cache=False, telemetry=Telemetry()).to_json()
+        assert "cache" not in data
+        assert "telemetry" not in data
+        with pytest.raises(ValueError, match="unknown exec config keys"):
+            ExecConfig.from_json({"jobs": 2, "cache": "/tmp/evil"})
+        with pytest.raises(ValueError, match="unknown exec config keys"):
+            ExecConfig.from_json({"telemetry": {}})
+
+    def test_from_json_validates_like_the_constructor(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            ExecConfig.from_json([1, 2])
+        with pytest.raises(ValueError, match="bad retries policy"):
+            ExecConfig.from_json({"retries": {"bogus": 1}})
+        with pytest.raises(ValueError, match="remote_workers"):
+            ExecConfig.from_json({"remote_workers": "farm1:9000"})
+        with pytest.raises(ValueError, match="out of range"):
+            ExecConfig.from_json({"remote_workers": ["farm1:99999"]})
+        with pytest.raises(ValueError, match="worker source"):
+            ExecConfig.from_json({"backend": "remote"})
+
+
 class TestCoercion:
     def test_no_arguments_is_default(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            config = coerce_exec_config(None, owner="t")
-        assert config == ExecConfig()
+        assert coerce_exec_config(None, owner="t") == ExecConfig()
 
     def test_explicit_exec_passes_through(self):
         config = ExecConfig(jobs=5, backend="process")
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert coerce_exec_config(config, owner="t") is config
-
-    def test_legacy_keywords_warn_and_map(self):
-        cache = ResultCache()
-        telemetry = Telemetry()
-        with pytest.warns(DeprecationWarning, match="t: .*deprecated"):
-            config = coerce_exec_config(None, owner="t", jobs=4,
-                                        cache=cache, telemetry=telemetry,
-                                        timeout_seconds=1.5)
-        assert config == ExecConfig(jobs=4, cache=cache,
-                                    telemetry=telemetry,
-                                    timeout_seconds=1.5)
-
-    def test_mixing_exec_and_legacy_is_an_error(self):
-        with pytest.raises(TypeError, match="not both"):
-            coerce_exec_config(ExecConfig(), owner="t", jobs=4)
+        assert coerce_exec_config(config, owner="t") is config
 
     def test_non_config_exec_rejected(self):
         with pytest.raises(TypeError, match="ExecConfig"):
             coerce_exec_config(4, owner="t")
 
 
-class TestDeprecatedShims:
-    """Every entry point accepts the legacy triplet, warns, and produces
-    exactly the result its ``exec=`` equivalent produces."""
+class TestLegacyKwargsRemoved:
+    """The PR-3 deprecation shims are gone: every entry point now raises a
+    hard ``TypeError`` with the ``exec=ExecConfig(...)`` migration hint."""
 
-    def test_implementation_proof_shim_identical(self):
+    def test_reject_helper_spells_out_the_migration(self):
+        with pytest.raises(TypeError) as exc:
+            reject_legacy_exec_kwargs("Owner", {"jobs": 4, "cache": False})
+        message = str(exc.value)
+        assert message.startswith("Owner: ")
+        assert "removed" in message
+        assert "exec=ExecConfig(cache=False, jobs=4)" in message
+
+    def test_obligation_timeout_maps_to_timeout_seconds(self):
+        with pytest.raises(TypeError,
+                           match=r"exec=ExecConfig\(timeout_seconds=30\.0\)"):
+            reject_legacy_exec_kwargs("P", {"obligation_timeout": 30.0})
+
+    def test_unknown_keyword_gets_the_stock_message(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            reject_legacy_exec_kwargs("P", {"jorbs": 4})
+
+    def test_empty_kwargs_is_a_no_op(self):
+        reject_legacy_exec_kwargs("P", {})
+
+    @pytest.mark.parametrize("name", LEGACY_EXEC_KWARGS)
+    def test_every_legacy_name_is_caught(self, name):
+        with pytest.raises(TypeError, match="legacy"):
+            reject_legacy_exec_kwargs("P", {name: 1})
+
+    def test_implementation_proof_rejects_legacy(self):
+        from repro.prover import ImplementationProof
+
         typed = analyze(parse_package(SRC))
-        with pytest.warns(DeprecationWarning, match="ImplementationProof"):
-            legacy = ImplementationProof(typed, jobs=2, cache=False).run()
-        modern = ImplementationProof(
-            typed, exec=ExecConfig(jobs=2, cache=False)).run()
-        assert [outcome_key(o) for o in legacy.outcomes] == \
-               [outcome_key(o) for o in modern.outcomes]
-        assert legacy.auto_percent == modern.auto_percent
+        with pytest.raises(TypeError, match="ImplementationProof.*legacy"):
+            ImplementationProof(typed, jobs=2, cache=False)
 
-    def test_obligation_timeout_shim(self):
-        typed = analyze(parse_package(SRC))
-        with pytest.warns(DeprecationWarning):
-            proof = ImplementationProof(typed, cache=False,
-                                        obligation_timeout=30.0)
-        assert proof.exec.timeout_seconds == 30.0
-
-    def test_prove_implication_shim_identical(self):
-        from repro.extract import extract_specification
+    def test_prove_implication_rejects_legacy(self):
         from repro.implication import prove_implication
 
-        original = parse_theory(SPEC)
-        typed = analyze(parse_package(PROGRAM))
-        extracted = extract_specification(typed).theory
+        with pytest.raises(TypeError, match="prove_implication.*legacy"):
+            prove_implication(None, None, jobs=2)
 
-        def key(res):
-            return ([(o.lemma.name, o.proved, o.evidence, o.detail)
-                     for o in res.outcomes],
-                    res.tcc_total, res.tcc_proved, res.tcc_unproved)
-
-        with pytest.warns(DeprecationWarning, match="prove_implication"):
-            legacy = prove_implication(original, extracted,
-                                       jobs=2, cache=False)
-        modern = prove_implication(original, extracted,
-                                   exec=ExecConfig(jobs=2, cache=False))
-        assert key(legacy) == key(modern)
-
-    def test_refactoring_engine_shim(self):
+    def test_refactoring_engine_rejects_legacy(self):
         from repro.refactor import RefactoringEngine
 
-        with pytest.warns(DeprecationWarning, match="RefactoringEngine"):
-            engine = RefactoringEngine(parse_package(PROGRAM),
-                                       observables=["Bump"],
-                                       check="differential", jobs=2,
-                                       cache=False)
-        assert engine.exec.jobs == 2
-        assert engine.exec.cache is False
+        with pytest.raises(TypeError, match="RefactoringEngine.*legacy"):
+            RefactoringEngine(None, observables=[], jobs=2)
 
-    def test_echo_verifier_shim_identical_results(self):
-        """The headline migration contract: the legacy triplet and the
-        ExecConfig path produce identical EchoResults end to end."""
+    def test_echo_verifier_rejects_legacy(self):
         from repro.core import EchoVerifier
-        from repro.refactor import RerollLoop
 
-        def run(**kw):
-            verifier = EchoVerifier(parse_package(PROGRAM),
-                                    parse_theory(SPEC),
-                                    observables=["Bump"], **kw)
-            verifier.refactor([RerollLoop(subprogram="Bump", start=0,
-                                          group_size=1, count=4, var="I")])
-            return verifier.verify()
+        with pytest.raises(TypeError, match="EchoVerifier.*legacy"):
+            EchoVerifier(None, None, observables=[], telemetry=Telemetry())
 
-        with pytest.warns(DeprecationWarning, match="EchoVerifier"):
-            legacy = run(jobs=2, cache=False)
-        modern = run(exec=ExecConfig(jobs=2, cache=False))
+    def test_verify_aes_rejects_legacy(self):
+        from repro.core import verify_aes
 
-        assert legacy.verified == modern.verified
-        assert legacy.match.percent == modern.match.percent
-        assert [(o.vc.name, o.stage) for o in
-                legacy.implementation.outcomes] == \
-               [(o.vc.name, o.stage) for o in
-                modern.implementation.outcomes]
-        assert legacy.implication.holds == modern.implication.holds
-        assert legacy.summary() == modern.summary()
+        with pytest.raises(TypeError, match="verify_aes.*legacy"):
+            verify_aes(jobs=8)
 
-    def test_verify_aes_signature_has_exec(self):
-        """verify_aes exposes exec= plus the deprecated shims (running it
-        is minutes; the full run is exercised by the benchmarks)."""
+    def test_harness_tables_reject_legacy(self):
+        from repro.harness.tables import (
+            implementation_proof_stats, implication_proof_stats,
+        )
+
+        with pytest.raises(TypeError, match="implementation_proof_stats"):
+            implementation_proof_stats(jobs=2)
+        with pytest.raises(TypeError, match="implication_proof_stats"):
+            implication_proof_stats(obligation_timeout=5.0)
+
+    def test_signatures_expose_exec_not_the_legacy_names(self):
         import inspect
 
         from repro.core import verify_aes
 
         parameters = inspect.signature(verify_aes).parameters
         assert "exec" in parameters
-        for name in ("jobs", "cache", "telemetry"):
-            assert parameters[name].default is UNSET
+        for name in ("jobs", "cache", "telemetry", "obligation_timeout"):
+            assert name not in parameters
 
     def test_no_warning_on_modern_path(self):
+        from repro.prover import ImplementationProof
+
         typed = analyze(parse_package(SRC))
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)

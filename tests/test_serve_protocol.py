@@ -18,6 +18,7 @@ from repro.serve import (
     decode_line, default_lane, encode_message, normalize_submit,
     parse_lanes,
 )
+from repro.protocol import PROTOCOL_VERSION, check_protocol_version
 from repro.serve.cli import build_config
 
 SOURCE = "package P is end P;"
@@ -57,6 +58,51 @@ class TestWireFormat:
         with pytest.raises(ProtocolError) as err:
             decode_line('{"op":"ping","pad":"' + "x" * (9 << 20) + '"}\n')
         assert "exceeds" in err.value.detail
+
+
+class TestProtocolVersioning:
+    """The shared version surface (repro.protocol): the serve daemon
+    tolerates version-less clients, rejects mismatched ones, and the
+    serve layer re-exports the shared constants unchanged."""
+
+    def test_absent_version_tolerated(self):
+        # version-1 clients predate the field entirely
+        assert decode_line('{"op":"status"}\n') == {"op": "status"}
+        check_protocol_version(None, surface="t")
+
+    def test_current_version_accepted(self):
+        message = decode_line(
+            '{"op":"status","protocol":%d}\n' % PROTOCOL_VERSION)
+        assert message["protocol"] == PROTOCOL_VERSION
+
+    def test_mismatched_version_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_line('{"op":"status","protocol":1}\n')
+        assert err.value.code == "protocol_mismatch"
+        assert str(PROTOCOL_VERSION) in err.value.detail
+
+    def test_required_mode_rejects_absent_version(self):
+        # the farm handshake refuses version-less workers
+        with pytest.raises(ProtocolError) as err:
+            check_protocol_version(None, surface="farm", required=True)
+        assert err.value.code == "protocol_mismatch"
+
+    def test_serve_reexports_the_shared_surface(self):
+        import repro.protocol as shared
+        import repro.serve.protocol as serve_protocol
+
+        assert serve_protocol.PROTOCOL_VERSION is shared.PROTOCOL_VERSION
+        assert serve_protocol.ERROR_CODES is shared.ERROR_CODES
+        assert serve_protocol.ProtocolError is shared.ProtocolError
+        assert serve_protocol.encode_message is shared.encode_message
+        assert "protocol_mismatch" in shared.ERROR_CODES
+        assert "quarantined" in shared.ERROR_CODES
+
+    def test_error_envelope_round_trip(self):
+        err = ProtocolError("protocol_mismatch", "skewed", request_id="r1")
+        message = err.to_message()
+        assert message == {"reply": "error", "code": "protocol_mismatch",
+                           "detail": "skewed", "id": "r1"}
 
     def test_error_message_shape(self):
         message = ProtocolError("backpressure", "full", "r1").to_message()
