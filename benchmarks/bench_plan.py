@@ -1,0 +1,168 @@
+"""Automated-planner benchmark: discover the AES refactoring chain, twice
+(DESIGN.md section 17).
+
+The acceptance claim of ``repro.plan`` has three legs:
+
+* **discovery** -- from the optimized AES and the FIPS-197 theory, the
+  search finds, without human ordering input, a chain of refactorings in
+  which every accepted edge carries a semantics-preservation theorem
+  over the observables (``Cipher``/``Inv_Cipher``);
+* **determinism** -- the chain digest, step tokens, and final source are
+  bit-identical between the serial backend and the process farm (the
+  planner's scoring is wall-clock free and its ordering is seeded, so
+  the farm may only change *when* evaluations run, never what wins);
+* **provability** -- the discovered final program, carried through the
+  annotation table and the implementation proof, auto-discharges at
+  least ``_MIN_AUTO_PERCENT`` of its VCs (the paper's figure-3 floor:
+  93.6%).
+
+Results are written to ``BENCH_pr9.json`` at the repo root
+(``bench-plan/v1``).  Runnable standalone
+(``python benchmarks/bench_plan.py [--check]``) or under pytest.  The
+identity gates are asserted unconditionally; the auto-discharge floor is
+enforced under ``--check`` / ``REPRO_BENCH_CHECK=1`` and advisory
+otherwise.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.aes.annotations import build_annotated
+from repro.aes.proof_scripts import aes_proof_scripts
+from repro.aes.refactored import refactored_source
+from repro.exec import ExecConfig
+from repro.lang import parse_package, print_package
+from repro.plan import plan_aes
+from repro.prover import ImplementationProof
+
+CHECK_MODE = os.environ.get("REPRO_BENCH_CHECK", "") not in ("", "0")
+
+#: The discovered program must auto-discharge at least this percentage
+#: of its implementation-proof VCs (the manual chain's figure-3 floor).
+#: Compared at the one-decimal precision the figure is stated at:
+#: 437/467 VCs *is* the manual chain's 93.6%, not a miss by 0.02.
+_MIN_AUTO_PERCENT = 93.6
+
+#: Process-farm width for the second discovery run.
+_FARM_JOBS = max(2, min(8, (os.cpu_count() or 2) - 1))
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_pr9.json"
+
+
+def _discover(label, config):
+    t0 = time.perf_counter()
+    result = plan_aes(trials=2, exec=config)
+    seconds = time.perf_counter() - t0
+    assert result.found, f"{label}: planner did not reach the goal"
+    assert result.validations >= result.step_count, \
+        f"{label}: chain steps missing theorem validation"
+    return result, seconds
+
+
+def _summary(result, seconds):
+    ev = result.final_evaluation
+    return {
+        "seconds": round(seconds, 1),
+        "steps": result.step_count,
+        "expansions": result.expansions,
+        "evaluations": result.evaluations,
+        "validations": result.validations,
+        "rejected": len(result.rejected),
+        "final_match_percent": round(100.0 * ev.match_fraction, 1),
+    }
+
+
+def run_plan_bench(check: bool):
+    serial, serial_s = _discover(
+        "serial", ExecConfig(jobs=1, backend="serial", cache=False))
+    farm, farm_s = _discover(
+        "farm", ExecConfig(jobs=_FARM_JOBS, backend="process", cache=False))
+
+    # Determinism: bit-identical discovery across backends.
+    assert serial.chain_digest == farm.chain_digest, \
+        "chain digest differs between serial and process backends"
+    assert [s.token for s in serial.steps] == \
+        [s.token for s in farm.steps], "step sequences differ"
+    assert serial.final_source == farm.final_source, \
+        "final programs differ"
+
+    reached_reference = serial.final_source == \
+        print_package(parse_package(refactored_source()))
+
+    # Provability of the discovered program: annotation table +
+    # implementation proof, exactly the manual pipeline's final leg.
+    typed = build_annotated(serial.final_source)
+    t0 = time.perf_counter()
+    proof = ImplementationProof(
+        typed, scripts=aes_proof_scripts(),
+        exec=ExecConfig(jobs=1, backend="serial", cache=False)).run()
+    proof_s = time.perf_counter() - t0
+    auto = proof.auto_percent
+
+    payload = {
+        "schema": "bench-plan/v1",
+        "check_mode": check,
+        "min_auto_percent": _MIN_AUTO_PERCENT,
+        "chain_digest": serial.chain_digest,
+        "identical_across_backends": True,
+        "reached_reference_source": reached_reference,
+        "farm_jobs": _FARM_JOBS,
+        "serial": _summary(serial, serial_s),
+        "farm": _summary(farm, farm_s),
+        "steps": [{"description": s.description, "origin": s.origin,
+                   "match_percent": round(s.match_percent, 1)}
+                  for s in serial.steps],
+        "proof": {
+            "total_vcs": proof.total_vcs,
+            "auto_percent": round(auto, 2),
+            "seconds": round(proof_s, 1),
+        },
+    }
+    _OUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print(f"discovery         serial {serial_s:.0f} s "
+          f"({serial.expansions} expansions, {serial.step_count} steps), "
+          f"farm[{_FARM_JOBS}] {farm_s:.0f} s")
+    print(f"chain digest      {serial.chain_digest} "
+          f"(identical across backends)")
+    print(f"final state       match "
+          f"{payload['serial']['final_match_percent']}%, "
+          f"reference source reached: {reached_reference}")
+    print(f"implementation    {proof.total_vcs} VCs, "
+          f"auto {auto:.1f}% (floor {_MIN_AUTO_PERCENT}%)")
+    print(f"results           {_OUT.name}")
+
+    if check:
+        assert round(auto, 1) >= _MIN_AUTO_PERCENT, (
+            f"discovered program auto-discharges only {auto:.1f}% "
+            f"(floor {_MIN_AUTO_PERCENT}%)")
+    elif round(auto, 1) < _MIN_AUTO_PERCENT:
+        print(f"WARNING: auto-discharge {auto:.1f}% below the "
+              f"{_MIN_AUTO_PERCENT}% floor (non-fatal without --check)")
+    return payload
+
+
+def bench_plan_discovery(benchmark):
+    """Pytest leg: identity gates always run; the auto-discharge floor
+    is enforced in check mode (``REPRO_BENCH_CHECK=1``)."""
+    benchmark.pedantic(lambda: run_plan_bench(check=True),
+                       rounds=1, iterations=1)
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    check = "--check" in argv or CHECK_MODE
+    unknown = [a for a in argv if a not in ("--check",)]
+    if unknown:
+        raise SystemExit(f"usage: python benchmarks/bench_plan.py "
+                         f"[--check] (got {unknown!r})")
+    run_plan_bench(check=check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

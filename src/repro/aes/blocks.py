@@ -155,68 +155,14 @@ def transformation_blocks() -> List[Tuple[int, List[Transformation]]]:
 
     # -- Blocks 5/6: clone extraction ------------------------------------------
     blocks.append((5, [
-        ExtractProcedureClone(procedure_source="""
-   procedure Sub_Bytes (S : in Byte_State; R : out Byte_State) is
-   begin
-      for I in 0 .. 15 loop
-         R (I) := Sbox (Integer (S (I)));
-      end loop;
-   end Sub_Bytes;
-""", minimum_occurrences=2),
-        ExtractProcedureClone(procedure_source="""
-   procedure Shift_Rows (S : in Byte_State; R : out Byte_State) is
-   begin
-      for I in 0 .. 15 loop
-         R (I) := S (4 * ((I / 4 + I mod 4) mod 4) + I mod 4);
-      end loop;
-   end Shift_Rows;
-""", minimum_occurrences=2),
-        ExtractProcedureClone(procedure_source=f"""
-   procedure Mix_Columns (S : in Byte_State; R : out Byte_State) is
-   begin
-{stages._mix_loop(stages._MIX_ROWS, "S", "R")}   end Mix_Columns;
-""", minimum_occurrences=1),
-        ExtractProcedureClone(procedure_source="""
-   procedure Add_Round_Key (S : in Byte_State; K : in Byte_State;
-                            R : out Byte_State) is
-   begin
-      for I in 0 .. 15 loop
-         R (I) := S (I) xor K (I);
-      end loop;
-   end Add_Round_Key;
-""", minimum_occurrences=4),
-        ExtractProcedureClone(procedure_source="""
-   procedure Round_Key_From (W : in Schedule60; R : in Integer;
-                             K : out Byte_State) is
-   begin
-      for I in 0 .. 15 loop
-         K (I) := W (4 * R + I / 4) (I mod 4);
-      end loop;
-   end Round_Key_From;
-""", minimum_occurrences=4),
+        ExtractProcedureClone(procedure_source=source,
+                              minimum_occurrences=minimum)
+        for source, minimum in stages.encrypt_state_procedures()
     ]))
     blocks.append((6, [
-        ExtractProcedureClone(procedure_source="""
-   procedure Inv_Sub_Bytes (S : in Byte_State; R : out Byte_State) is
-   begin
-      for I in 0 .. 15 loop
-         R (I) := Inv_Sbox (Integer (S (I)));
-      end loop;
-   end Inv_Sub_Bytes;
-""", minimum_occurrences=2),
-        ExtractProcedureClone(procedure_source="""
-   procedure Inv_Shift_Rows (S : in Byte_State; R : out Byte_State) is
-   begin
-      for I in 0 .. 15 loop
-         R (I) := S (4 * ((I / 4 + 4 - I mod 4) mod 4) + I mod 4);
-      end loop;
-   end Inv_Shift_Rows;
-""", minimum_occurrences=2),
-        ExtractProcedureClone(procedure_source=f"""
-   procedure Inv_Mix_Columns (S : in Byte_State; R : out Byte_State) is
-   begin
-{stages._mix_loop(stages._INV_MIX_ROWS, "S", "R")}   end Inv_Mix_Columns;
-""", minimum_occurrences=1),
+        ExtractProcedureClone(procedure_source=source,
+                              minimum_occurrences=minimum)
+        for source, minimum in stages.decrypt_state_procedures()
     ]))
 
     # -- Block 7: key expansion helpers ----------------------------------------
@@ -246,30 +192,8 @@ def transformation_blocks() -> List[Tuple[int, List[Transformation]]]:
 
     # -- Block 9: round compositions -------------------------------------------
     blocks.append((9, [
-        ExtractFunction(function_source="""
-   function Round (S : in Byte_Block; K : in Byte_Block) return Byte_Block is
-   begin
-      return Add_Round_Key (Mix_Columns (Shift_Rows (Sub_Bytes (S))), K);
-   end Round;
-""", minimum_occurrences=3),
-        ExtractFunction(function_source="""
-   function Final_Round (S : in Byte_Block; K : in Byte_Block) return Byte_Block is
-   begin
-      return Add_Round_Key (Shift_Rows (Sub_Bytes (S)), K);
-   end Final_Round;
-""", minimum_occurrences=3),
-        ExtractFunction(function_source="""
-   function Eq_Inv_Round (S : in Byte_Block; K : in Byte_Block) return Byte_Block is
-   begin
-      return Add_Round_Key (Inv_Mix_Columns (Inv_Sub_Bytes (Inv_Shift_Rows (S))), K);
-   end Eq_Inv_Round;
-""", minimum_occurrences=3),
-        ExtractFunction(function_source="""
-   function Eq_Inv_Final_Round (S : in Byte_Block; K : in Byte_Block) return Byte_Block is
-   begin
-      return Add_Round_Key (Inv_Sub_Bytes (Inv_Shift_Rows (S)), K);
-   end Eq_Inv_Final_Round;
-""", minimum_occurrences=3),
+        ExtractFunction(function_source=source, minimum_occurrences=minimum)
+        for source, minimum in stages.round_composition_functions()
     ]))
 
     # -- Block 10: loop forms ---------------------------------------------------

@@ -19,6 +19,8 @@ __all__ = [
     "word_machinery_subprograms", "key_type_decls",
     "stage7_subprograms", "stage8_subprograms", "stage8_removals",
     "stage12_subprograms", "stage12_removals",
+    "encrypt_state_procedures", "decrypt_state_procedures",
+    "round_composition_functions",
 ]
 
 
@@ -701,3 +703,112 @@ def stage12_removals():
     return ("Inv_Key_Schedule_128", "Inv_Key_Schedule_192",
             "Inv_Key_Schedule_256", "Inv_Round_Key_128",
             "Inv_Round_Key_192", "Inv_Round_Key_256", "Inv_Mix_Word")
+
+
+# ---------------------------------------------------------------------------
+# Blocks 5/6/9: clone-extraction targets.  Shared by the manual pipeline
+# (aes.blocks) and the automated planner's catalog (plan.catalog): the
+# state operations named by FIPS-197 section 5.1 and the round
+# compositions of its pseudo code, each as (source, minimum_occurrences).
+# ---------------------------------------------------------------------------
+
+def encrypt_state_procedures():
+    """Block 5: the encryption-path state operations to extract."""
+    return (
+        ("""
+   procedure Sub_Bytes (S : in Byte_State; R : out Byte_State) is
+   begin
+      for I in 0 .. 15 loop
+         R (I) := Sbox (Integer (S (I)));
+      end loop;
+   end Sub_Bytes;
+""", 2),
+        ("""
+   procedure Shift_Rows (S : in Byte_State; R : out Byte_State) is
+   begin
+      for I in 0 .. 15 loop
+         R (I) := S (4 * ((I / 4 + I mod 4) mod 4) + I mod 4);
+      end loop;
+   end Shift_Rows;
+""", 2),
+        (f"""
+   procedure Mix_Columns (S : in Byte_State; R : out Byte_State) is
+   begin
+{_mix_loop(_MIX_ROWS, "S", "R")}   end Mix_Columns;
+""", 1),
+        ("""
+   procedure Add_Round_Key (S : in Byte_State; K : in Byte_State;
+                            R : out Byte_State) is
+   begin
+      for I in 0 .. 15 loop
+         R (I) := S (I) xor K (I);
+      end loop;
+   end Add_Round_Key;
+""", 4),
+        ("""
+   procedure Round_Key_From (W : in Schedule60; R : in Integer;
+                             K : out Byte_State) is
+   begin
+      for I in 0 .. 15 loop
+         K (I) := W (4 * R + I / 4) (I mod 4);
+      end loop;
+   end Round_Key_From;
+""", 4),
+    )
+
+
+def decrypt_state_procedures():
+    """Block 6: the decryption-path state operations to extract."""
+    return (
+        ("""
+   procedure Inv_Sub_Bytes (S : in Byte_State; R : out Byte_State) is
+   begin
+      for I in 0 .. 15 loop
+         R (I) := Inv_Sbox (Integer (S (I)));
+      end loop;
+   end Inv_Sub_Bytes;
+""", 2),
+        ("""
+   procedure Inv_Shift_Rows (S : in Byte_State; R : out Byte_State) is
+   begin
+      for I in 0 .. 15 loop
+         R (I) := S (4 * ((I / 4 + 4 - I mod 4) mod 4) + I mod 4);
+      end loop;
+   end Inv_Shift_Rows;
+""", 2),
+        (f"""
+   procedure Inv_Mix_Columns (S : in Byte_State; R : out Byte_State) is
+   begin
+{_mix_loop(_INV_MIX_ROWS, "S", "R")}   end Inv_Mix_Columns;
+""", 1),
+    )
+
+
+def round_composition_functions():
+    """Block 9: the round compositions of the FIPS-197 pseudo code."""
+    return (
+        ("""
+   function Round (S : in Byte_Block; K : in Byte_Block) return Byte_Block is
+   begin
+      return Add_Round_Key (Mix_Columns (Shift_Rows (Sub_Bytes (S))), K);
+   end Round;
+""", 3),
+        ("""
+   function Final_Round (S : in Byte_Block; K : in Byte_Block) return Byte_Block is
+   begin
+      return Add_Round_Key (Shift_Rows (Sub_Bytes (S)), K);
+   end Final_Round;
+""", 3),
+        ("""
+   function Eq_Inv_Round (S : in Byte_Block; K : in Byte_Block) return Byte_Block is
+   begin
+      return Add_Round_Key (Inv_Mix_Columns (Inv_Sub_Bytes (Inv_Shift_Rows (S))), K);
+   end Eq_Inv_Round;
+""", 3),
+        ("""
+   function Eq_Inv_Final_Round (S : in Byte_Block; K : in Byte_Block) return Byte_Block is
+   begin
+      return Add_Round_Key (Inv_Sub_Bytes (Inv_Shift_Rows (S)), K);
+   end Eq_Inv_Final_Round;
+""", 3),
+    )

@@ -86,6 +86,12 @@ class ResultCache:
     #: ones may belong to a concurrent live writer and are left alone.
     STALE_TMP_SECONDS = 600.0
 
+    #: An mtime more than this far in the *future* of a fresh wall-clock
+    #: sample can only come from a clock step (files are stamped with the
+    #: clock of their creation instant); its presence means wall-clock
+    #: ages are untrustworthy for this sweep.
+    CLOCK_STEP_SLACK_SECONDS = 5.0
+
     def __init__(self, disk_dir: Optional[os.PathLike] = None,
                  max_memory_entries: Optional[int] = None):
         """``max_memory_entries`` bounds the in-memory layer with
@@ -189,15 +195,43 @@ class ResultCache:
         ``mkstemp`` and the atomic ``os.replace``).  With ``older_than``,
         only files whose mtime is at least that many seconds old go --
         the store-open sweep uses this so a concurrent writer's live
-        temp file survives.  Returns the number removed."""
+        temp file survives.  Returns the number removed.
+
+        The age gate is robust to wall-clock steps: the clock is
+        re-sampled per file (a single cutoff computed before a backwards
+        step would make files stamped *after* the step look ancient),
+        future-dated files are never deleted (they are live writers seen
+        across a backwards step, not orphans), and any future-dated file
+        is evidence the clock stepped during the window -- every age in
+        the sweep is then suspect, so the grace period doubles."""
         if self.disk_dir is None:
             return 0
-        cutoff = time.time() - older_than
         removed = 0
+        if not older_than:
+            # clear(): the caller asserts no live writers -- unconditional.
+            for entry in self.disk_dir.glob("*/*.tmp"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass   # already gone, or racing with its writer
+            return removed
+        ages = []
+        suspicious = False
         for entry in self.disk_dir.glob("*/*.tmp"):
             try:
-                if older_than and entry.stat().st_mtime > cutoff:
-                    continue
+                mtime = entry.stat().st_mtime
+            except OSError:
+                continue   # already gone
+            age = time.time() - mtime   # fresh sample per file
+            if age < -self.CLOCK_STEP_SLACK_SECONDS:
+                suspicious = True
+            ages.append((entry, age))
+        grace = older_than * (2.0 if suspicious else 1.0)
+        for entry, age in ages:
+            if age < grace:
+                continue
+            try:
                 entry.unlink()
                 removed += 1
             except OSError:

@@ -1,12 +1,14 @@
 """Experiment runner: regenerates every table and figure of the paper's
 evaluation and writes a combined report (used to produce EXPERIMENTS.md).
 
-Run as ``python -m repro.harness.runner [--quick] [--jobs N]
+Run as ``python -m repro.harness.runner [--quick] [--plan] [--jobs N]
 [--backend {serial,thread,process,remote}] [--timeout S] [--retries N]
 [--max-retry-delay S] [--on-backend-failure {raise,degrade}]
 [--remote-worker HOST:PORT]... [--remote-listen [HOST:]PORT]
 [--lease-timeout S] [--no-remote-shared-cache]
-[--incremental] [--manifest-dir DIR]``.  The flags map onto one
+[--incremental] [--manifest-dir DIR]``.  ``--plan`` runs the automated
+verification-refactoring planner (:mod:`repro.plan`) on the AES case
+study instead of the table/figure harness, writing ``results/plan.md``.  The flags map onto one
 :class:`~repro.exec.ExecConfig` driving the proof legs; the execution
 configuration (including the retry policy and any backend degradations)
 is recorded in ``results/telemetry.json``.  ``--incremental`` replays
@@ -46,7 +48,9 @@ def run_all(upto: int = 14, quick: bool = False, jobs: int = 1,
     config = exec if exec is not None else \
         ExecConfig(jobs=jobs, backend=backend, timeout_seconds=timeout)
     sections = []
-    started = time.time()
+    # Monotonic: a wall-clock step mid-run must not distort the report
+    # (same defect class as serve's queue_seconds, fixed in PR 7).
+    started = time.monotonic()
 
     sections.append("## Figure 2: metrics across the transformation blocks")
     measurements = figure2(upto=upto)
@@ -118,7 +122,8 @@ def run_all(upto: int = 14, quick: bool = False, jobs: int = 1,
     sections.append(default_telemetry().summary())
     sections.append("```")
 
-    sections.append(f"\n_total harness time: {time.time() - started:.0f} s_")
+    sections.append(
+        f"\n_total harness time: {time.monotonic() - started:.0f} s_")
     return "\n\n".join(sections)
 
 
@@ -250,8 +255,30 @@ def _parse_incremental(argv):
     return manifest_dir, incremental
 
 
+def run_plan(exec: ExecConfig) -> str:
+    """``--plan`` mode: run the automated planner on the AES case study
+    and render its chain report (written to ``results/plan.md``)."""
+    from ..plan.cli import render_report
+    from ..plan import plan_aes
+    started = time.monotonic()
+    result = plan_aes(exec=exec)
+    return render_report(result, time.monotonic() - started)
+
+
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
+    if "--help" in argv or "-h" in argv:
+        print("usage: python -m repro.harness.runner [--quick] [--plan] "
+              "[--jobs N]\n"
+              "  [--backend {serial,thread,process,remote}] [--timeout S] "
+              "[--retries N]\n"
+              "  [--max-retry-delay S] [--on-backend-failure "
+              "{raise,degrade}]\n"
+              "  [--remote-worker HOST:PORT]... [--remote-listen "
+              "[HOST:]PORT]\n"
+              "  [--lease-timeout S] [--no-remote-shared-cache]\n"
+              "  [--incremental] [--manifest-dir DIR]")
+        return 0
     quick = "--quick" in argv
     try:
         config = ExecConfig(jobs=_parse_jobs(argv),
@@ -262,6 +289,13 @@ def main(argv=None) -> int:
                             **_parse_remote(argv))
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+    if "--plan" in argv:
+        report = run_plan(exec=config)
+        print(report)
+        out = Path("results")
+        out.mkdir(exist_ok=True)
+        atomic_write_text(out / "plan.md", report)
+        return 0
     manifest_dir, incremental = _parse_incremental(argv)
     if incremental and not os.environ.get("REPRO_CACHE_DIR"):
         print("note: --incremental replays verdicts from the result "

@@ -30,9 +30,24 @@ are expressed with the two primitives here instead.
 
 from __future__ import annotations
 
+import logging
 from typing import Any, Generator, Iterator
 
-__all__ = ["run_trampoline", "postorder_missing"]
+__all__ = ["run_trampoline", "postorder_missing", "close_failure_count"]
+
+_log = logging.getLogger(__name__)
+
+#: Cumulative count of traversal frames whose ``close()`` raised while an
+#: exception unwound through :func:`run_trampoline`.  The primary
+#: exception still propagates; this counter keeps the secondary failure
+#: observable instead of silently swallowed (tests and postmortems can
+#: assert it stayed zero).
+_close_failures = 0
+
+
+def close_failure_count() -> int:
+    """How many generator frames failed to close during unwinding."""
+    return _close_failures
 
 
 def run_trampoline(gen: Generator) -> Any:
@@ -58,10 +73,16 @@ def run_trampoline(gen: Generator) -> Any:
     finally:
         # On an exception unwinding through us, release pending frames.
         while stack:
+            frame = stack.pop()
             try:
-                stack.pop().close()
-            except Exception:
-                pass
+                frame.close()
+            except Exception as exc:   # noqa: BLE001 - cleanup boundary:
+                # the primary exception must win, but a frame that fails
+                # to close is a defect worth recording, not hiding.
+                global _close_failures
+                _close_failures += 1
+                _log.debug("traversal frame %r failed to close: %r",
+                           frame, exc)
 
 
 def postorder_missing(term, cache) -> Iterator:

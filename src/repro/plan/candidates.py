@@ -1,0 +1,115 @@
+"""Candidate enumeration: everything the planner may try from a state.
+
+Three deterministic sources, concatenated in a fixed order:
+
+1. **Library sites** -- every family in the transformation library is
+   asked for applicable sites on the current program
+   (:meth:`~repro.refactor.engine.Transformation.enumerate_sites`);
+2. **Catalog proposals** -- the user-specified moves whose ``min_match``
+   gate the state has passed (:mod:`repro.plan.catalog`);
+3. **Spec-alignment renames** -- for each same-kind, same-arity pair of
+   an unmatched specification element and an unmatched implementation
+   element in the architectural map, a rename of the implementation name
+   to the specification name.  This is how the planner discovers the
+   paper's block-13 tidy (``Byte_Block`` -> ``State``) without it being
+   spelled out: the map says which names fail to correspond, and renaming
+   toward the specification is the only move that can close that gap.
+
+   Alignment renames are gated at ``ALIGN_RENAME_MIN_MATCH``: renaming
+   toward the specification is the paper's end-of-chain "merely tidying",
+   and it is only *evidence of correspondence* once most of the
+   architecture already matches.  Early in a chain nearly every element
+   is unmatched, so the pairing would propose mostly false
+   correspondences -- and since a rename always preserves semantics and
+   always buys match points, an ungated search happily commits them
+   (renaming ``Te4_F`` to ``InvShiftRows`` both looks great on the
+   metric and strands the table-reversal sites that rely on the ``_F``
+   naming convention).  The gate makes the move available exactly where
+   its premise holds.
+
+Everything here over-approximates: proposals may be inapplicable or
+semantics-breaking, and that is fine -- scoring marks inapplicable
+results, and the engine's theorem is the gate for chain membership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..extract.mapper import build_map, _elements
+from ..extract.skeleton import SkeletonError, extract_skeleton
+from ..lang import TypedPackage
+from ..refactor import RemoveDeadSubprogram, Rename, Transformation
+from .catalog import Catalog
+
+__all__ = ["Candidate", "enumerate_candidates", "ALIGN_RENAME_MIN_MATCH"]
+
+#: Architectural-map kind -> Rename kind.
+_KIND_MAP = {"type": "type", "table": "constant", "function": "subprogram"}
+
+#: Match fraction below which spec-alignment renames are not proposed
+#: (see the module docstring: a rename toward the specification is only
+#: evidence of correspondence once most of the architecture matches).
+ALIGN_RENAME_MIN_MATCH = 0.8
+
+
+@dataclass
+class Candidate:
+    """One proposed next step."""
+
+    transformation: Transformation
+    origin: str            # 'library' | 'catalog' | 'align'
+    entry: Optional[str] = None   # catalog entry name, when origin='catalog'
+    goal: bool = False
+
+
+def enumerate_candidates(typed: TypedPackage, match_fraction: float,
+                         catalog: Catalog, applied: frozenset,
+                         reference, observables=()) -> List[Candidate]:
+    """All candidates from one state, in deterministic order.
+
+    ``observables`` prunes dead-subprogram removals targeting the
+    observable interface: site enumeration cannot know the interface
+    (observables have no in-package callers either), the engine would
+    reject the application anyway, and without the filter those
+    rejections recur at every single expansion."""
+    out: List[Candidate] = []
+    from ..refactor.library import TRANSFORMATION_LIBRARY
+    for classes in TRANSFORMATION_LIBRARY.values():
+        for cls in classes:
+            out.extend(Candidate(transformation=t, origin="library")
+                       for t in cls.enumerate_sites(typed)
+                       if not (isinstance(t, RemoveDeadSubprogram)
+                               and t.subprogram in observables))
+    for entry in catalog.proposals(match_fraction, applied):
+        out.append(Candidate(transformation=entry.transformation,
+                             origin="catalog", entry=entry.name,
+                             goal=entry.goal))
+    out.extend(_alignment_renames(typed, match_fraction, reference))
+    return out
+
+
+def _alignment_renames(typed: TypedPackage, match_fraction: float,
+                       reference) -> Iterator[Candidate]:
+    """Renames closing gaps in the architectural map, in map order."""
+    if reference is None or match_fraction < ALIGN_RENAME_MIN_MATCH:
+        return
+    try:
+        skeleton = extract_skeleton(typed)
+    except SkeletonError:
+        return
+    amap = build_map(reference, skeleton)
+    spec_arity = {(k, n): a for k, n, a in _elements(reference)}
+    impl_arity = {(k, n): a for k, n, a in _elements(skeleton)}
+    for okind, oname in amap.unmatched_original:
+        for ekind, ename in amap.unmatched_extracted:
+            if okind != ekind:
+                continue
+            if spec_arity.get((okind, oname)) != \
+                    impl_arity.get((ekind, ename)):
+                continue
+            yield Candidate(
+                transformation=Rename(kind=_KIND_MAP[okind], old=ename,
+                                      new=oname),
+                origin="align")

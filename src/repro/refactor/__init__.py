@@ -15,7 +15,8 @@ from .reroll import RerollLoop
 from .separate import SeparateLoop
 from .split import SplitProcedure
 from .storage import (
-    IntroduceIntermediateVariable, RemoveIntermediateVariable, Rename,
+    IntroduceIntermediateVariable, RemoveDeadSubprogram,
+    RemoveIntermediateVariable, Rename,
 )
 from .tables import ReverseTableLookup
 from .unify import AntiUnifyError, anti_unify_groups
@@ -27,7 +28,8 @@ __all__ = [
     "SplitProcedure", "ShiftLoopBounds", "SplitLoopNest", "MergeLoopNest",
     "ExtractFunction", "ExtractProcedureClone", "parse_subprogram",
     "SeparateLoop", "RemoveIntermediateVariable",
-    "IntroduceIntermediateVariable", "Rename", "ReverseTableLookup",
+    "IntroduceIntermediateVariable", "RemoveDeadSubprogram", "Rename",
+    "ReverseTableLookup",
     "AdjustDataStructures", "UserSpecifiedTransformation",
     "TRANSFORMATION_LIBRARY", "library_categories", "category_of",
     "AntiUnifyError", "anti_unify_groups",

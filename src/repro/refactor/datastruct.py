@@ -57,6 +57,16 @@ class UserSpecifiedTransformation(Transformation):
     replace_subprograms: str = ""       # MiniAda subprogram source
     remove_subprograms: Tuple[str, ...] = ()
     category: str = "user-specified"
+    #: Skip (rather than reject on) remove-list names that are already
+    #: gone.  A hand-scripted pipeline wants the strict default -- a name
+    #: missing from a known program state is a script bug.  A *planned*
+    #: chain does not: the search may legitimately have tidied a dead
+    #: original away (remove-dead-subprogram, suffix renames) before a
+    #: catalog stage whose remove list still names it, and insisting on
+    #: the name makes the stage unapplicable forever.  Soundness is
+    #: unaffected either way -- the type check and the preservation
+    #: theorem still gate every application.
+    tolerate_missing: bool = False
 
     name = "user-specified"
 
@@ -72,7 +82,7 @@ class UserSpecifiedTransformation(Transformation):
         if self.remove_decls:
             named = set(self.remove_decls)
             found = {getattr(d, "name", None) for d in decls} & named
-            if found != named:
+            if found != named and not self.tolerate_missing:
                 raise TransformationError(
                     f"{self.name}: declarations not found: "
                     f"{sorted(named - found)}")
@@ -85,7 +95,7 @@ class UserSpecifiedTransformation(Transformation):
         if self.remove_subprograms:
             named = set(self.remove_subprograms)
             present = {sp.name for sp in subprograms}
-            if not named <= present:
+            if not named <= present and not self.tolerate_missing:
                 raise TransformationError(
                     f"{self.name}: subprograms not found: "
                     f"{sorted(named - present)}")

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..equiv import EquivalenceTheorem, prove_equivalence
 from ..exec.config import ExecConfig, coerce_exec_config, \
@@ -32,7 +32,8 @@ from ..lang.errors import TypeError_
 
 __all__ = [
     "TransformationError", "Transformation", "Application",
-    "RefactoringEngine", "get_block", "replace_block",
+    "RefactoringEngine", "get_block", "replace_block", "iter_blocks",
+    "bound_loop_vars", "names_in",
 ]
 
 
@@ -101,6 +102,75 @@ def replace_block(body: Tuple[ast.Stmt, ...], path: Sequence,
     return tuple(out)
 
 
+def iter_blocks(body: Tuple[ast.Stmt, ...],
+                prefix: Sequence = ()
+                ) -> Iterator[Tuple[Tuple, Tuple[ast.Stmt, ...]]]:
+    """Yield every addressable ``(path, block)`` of a subprogram body.
+
+    The root block comes first, then nested blocks in statement order
+    (loop bodies, then-branches, else-arms), depth-first.  The paths are
+    exactly the ones :func:`get_block`/:func:`replace_block` resolve, so
+    site enumerators can propose block-path-aware transformations
+    without reimplementing the addressing scheme."""
+    prefix = tuple(prefix)
+    yield prefix, body
+    for i, stmt in enumerate(body):
+        if isinstance(stmt, (ast.For, ast.While)):
+            yield from iter_blocks(stmt.body, prefix + (i,))
+        elif isinstance(stmt, ast.If):
+            for b, (_cond, branch) in enumerate(stmt.branches):
+                yield from iter_blocks(branch, prefix + (("then", i, b),))
+            if stmt.else_body:
+                yield from iter_blocks(stmt.else_body, prefix + (("else", i),))
+
+
+def bound_loop_vars(body: Tuple[ast.Stmt, ...], path: Sequence) -> set:
+    """The loop variables bound by the ``For`` loops a block path
+    descends through.
+
+    A variable introduced *inside* the block at ``path`` must avoid
+    these names: loop variables live outside the subprogram's declared
+    context, so a context freshness check alone would accept a
+    same-named inner loop that silently captures every occurrence of
+    the enclosing variable in its body (the program still type-checks,
+    it just indexes with the wrong variable)."""
+    vars_: set = set()
+    block = body
+    for step in path:
+        if isinstance(step, int):
+            stmt = block[step]
+            if not isinstance(stmt, (ast.For, ast.While)):
+                raise TransformationError(
+                    f"path step {step} is not a loop statement")
+            if isinstance(stmt, ast.For):
+                vars_.add(stmt.var)
+            block = stmt.body
+        elif isinstance(step, tuple) and step and step[0] == "then":
+            block = block[step[1]].branches[step[2]][1]
+        elif isinstance(step, tuple) and step and step[0] == "else":
+            block = block[step[1]].else_body
+        else:
+            raise TransformationError(f"bad path step {step!r}")
+    return vars_
+
+
+def names_in(stmts: Sequence[ast.Stmt]) -> set:
+    """Every identifier occurring in ``stmts``: variable reads and
+    writes (``Name``), loop variables (``For``), and quantified
+    variables (``ForAll``).  The complement is what "fresh" has to mean
+    for a loop variable wrapped *around* these statements -- a nested
+    loop inside them with the same name would capture the new
+    variable's occurrences in its body."""
+    out: set = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name):
+                out.add(node.id)
+            elif isinstance(node, (ast.For, ast.ForAll)):
+                out.add(node.var)
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Transformations
 # ---------------------------------------------------------------------------
@@ -116,6 +186,11 @@ class Transformation:
 
     name: str = "?"
     category: str = "?"
+    #: True when the transformation cannot change the set of declared
+    #: names, types, or subprogram signatures -- the spec-structure match
+    #: ratio of the result equals the input's, so a planner may reuse the
+    #: parent state's ratio instead of re-extracting (see repro.plan).
+    match_neutral: bool = False
 
     def apply(self, typed: TypedPackage) -> ast.Package:
         raise NotImplementedError
@@ -127,6 +202,23 @@ class Transformation:
 
     def describe(self) -> str:
         return self.name
+
+    @classmethod
+    def enumerate_sites(cls, typed: TypedPackage
+                        ) -> Iterator["Transformation"]:
+        """Yield instances applicable (mechanically, by a cheap
+        over-approximation) to ``typed`` -- the site-enumeration hook the
+        automated planner (:mod:`repro.plan`) drives.
+
+        The default is the empty enumeration: families whose parameters
+        cannot be inferred from the package alone (user-specified
+        payloads, extraction templates) stay planner-catalog territory.
+        Overrides must be **deterministic** -- ordered by package
+        position, never by dict iteration over unordered sets or by
+        ``id()`` -- and may over-approximate: every proposal is still
+        subject to ``apply``'s full applicability check, re-analysis, and
+        the semantics-preservation theorem before it can enter a chain."""
+        return iter(())
 
 
 @dataclass
@@ -160,11 +252,19 @@ class RefactoringEngine:
                  seed: int = 20090701,
                  samplers: Optional[dict] = None,
                  exec: Optional[ExecConfig] = None,
+                 check_observables: bool = False,
                  **legacy):
         reject_legacy_exec_kwargs("RefactoringEngine", legacy)
         self.typed = analyze(package)
         self.observables = list(observables)
         self.check = check
+        #: When True, every application's theorem set always includes the
+        #: observables, even if the transformation names narrower affected
+        #: subprograms.  The narrow default is the historical pipeline
+        #: behavior (cheap, and sound when each family's affected-set is
+        #: honest); an automated search that composes hundreds of steps
+        #: wants the end-to-end guarantee on every accepted edge instead.
+        self.check_observables = check_observables
         self.trials = trials
         self.seed = seed
         #: observable name -> sampler(rng) -> initial state; restricts the
@@ -189,6 +289,17 @@ class RefactoringEngine:
             raise TransformationError(
                 f"{transformation.name}: transformed program does not "
                 f"type-check: {exc}")
+        if self.check_observables:
+            gone = [o for o in self.observables
+                    if o in before.signatures and o not in after.signatures]
+            if gone:
+                # Deleting an observable would make every later check on it
+                # vacuous (``_checkable`` can only compare names present on
+                # both sides), so an engine holding the full observable
+                # interface refuses outright.
+                raise TransformationError(
+                    f"{transformation.name}: removes observable "
+                    f"subprogram(s) {', '.join(gone)}")
         application = Application(
             transformation=transformation.name,
             category=transformation.category,
@@ -213,12 +324,31 @@ class RefactoringEngine:
         self.typed = analyze(package)
         return application
 
+    def enumerate_candidates(self) -> List[Transformation]:
+        """Ask every library family for applicable sites on the current
+        package (each class's :meth:`Transformation.enumerate_sites`).
+
+        The order is deterministic: families in library-registry order,
+        sites in each family's own (package-position) order.  Proposals
+        are *candidates*, not commitments -- the planner scores them and
+        :meth:`apply` still runs the full applicability check plus the
+        semantics-preservation theorem on whichever one is chosen."""
+        from .library import TRANSFORMATION_LIBRARY   # circular at module load
+        out: List[Transformation] = []
+        for classes in TRANSFORMATION_LIBRARY.values():
+            for cls in classes:
+                out.extend(cls.enumerate_sites(self.typed))
+        return out
+
     # -- internals --------------------------------------------------------
 
     def _checkable(self, before: TypedPackage, after: TypedPackage,
                    transformation: Transformation) -> List[str]:
         explicit = transformation.affected_subprograms(before)
         names = explicit or self.observables
+        if self.check_observables:
+            names = list(names) + [o for o in self.observables
+                                   if o not in names]
         out = []
         for name in names:
             if name in before.signatures and name in after.signatures:

@@ -20,7 +20,8 @@ from .reroll import RerollLoop
 from .separate import SeparateLoop
 from .split import SplitProcedure
 from .storage import (
-    IntroduceIntermediateVariable, RemoveIntermediateVariable, Rename,
+    IntroduceIntermediateVariable, RemoveDeadSubprogram,
+    RemoveIntermediateVariable, Rename,
 )
 from .tables import ReverseTableLookup
 
@@ -37,7 +38,8 @@ TRANSFORMATION_LIBRARY: Dict[str, List[Type[Transformation]]] = {
         ExtractFunction, ExtractProcedureClone],
     "separating loops": [SeparateLoop],
     "modifying redundant or intermediate storage": [
-        RemoveIntermediateVariable, IntroduceIntermediateVariable, Rename],
+        RemoveIntermediateVariable, IntroduceIntermediateVariable,
+        RemoveDeadSubprogram, Rename],
     "adjusting data structures": [AdjustDataStructures],
     "reversing table lookups": [ReverseTableLookup],
     "user-specified": [UserSpecifiedTransformation],

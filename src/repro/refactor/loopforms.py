@@ -7,10 +7,14 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..lang import TypedPackage, ast
-from .engine import Transformation, TransformationError, get_block, \
-    replace_block
+from .engine import Transformation, TransformationError, bound_loop_vars, \
+    get_block, iter_blocks, names_in, replace_block
 
 __all__ = ["ShiftLoopBounds", "SplitLoopNest", "MergeLoopNest"]
+
+#: Fresh merged-loop variables proposed by site enumeration, in
+#: deterministic preference order.
+_FRESH_VARS = ("I", "J", "K", "L")
 
 
 def _substitute_name(stmts, name: str, replacement: ast.Expr):
@@ -48,6 +52,7 @@ class ShiftLoopBounds(Transformation):
 
     name = "shift-loop-bounds"
     category = "adjusting loop forms"
+    match_neutral = True   # body-only: declares no new package element
 
     def describe(self) -> str:
         return (f"shift bounds of loop {self.index} in {self.subprogram} "
@@ -92,6 +97,7 @@ class SplitLoopNest(Transformation):
 
     name = "split-loop-nest"
     category = "adjusting loop forms"
+    match_neutral = True   # body-only: declares no new package element
 
     def describe(self) -> str:
         return (f"split loop {self.index} of {self.subprogram} into a "
@@ -114,10 +120,22 @@ class SplitLoopNest(Transformation):
                 f"{self.name}: {total} iterations do not factor by "
                 f"{self.inner}")
         ctx = typed.context(self.subprogram)
+        if self.outer_var == self.inner_var:
+            raise TransformationError(
+                f"{self.name}: outer and inner variables must differ")
+        # Freshness must cover more than the declared context: enclosing
+        # loop variables and names used in the loop body (other than the
+        # split variable, which is substituted away) would be captured.
+        taken = bound_loop_vars(sp.body, self.path) | \
+            (names_in(loop.body) - {loop.var})
         for var in (self.outer_var, self.inner_var):
             if ctx.var_type(var) is not None or var == loop.var:
                 raise TransformationError(
                     f"{self.name}: variable '{var}' already in scope")
+            if var in taken:
+                raise TransformationError(
+                    f"{self.name}: variable '{var}' would capture an "
+                    f"existing use")
         outer_count = total // self.inner
         remap = ast.BinOp(
             op="+",
@@ -149,6 +167,37 @@ class MergeLoopNest(Transformation):
 
     name = "merge-loop-nest"
     category = "adjusting loop forms"
+    match_neutral = True   # body-only: declares no new package element
+
+    @classmethod
+    def enumerate_sites(cls, typed: TypedPackage):
+        """Propose every perfect 0-based 2-level nest with literal
+        bounds, in package/block/statement order."""
+        for sp in typed.package.subprograms:
+            ctx = typed.context(sp.name)
+            for path, block in iter_blocks(sp.body):
+                # Per-block freshness: avoid enclosing loop variables and
+                # every identifier used inside the block (see RerollLoop's
+                # enumerator for the capture scenario this prevents).
+                taken = bound_loop_vars(sp.body, path) | names_in(block)
+                var = next((v for v in _FRESH_VARS
+                            if ctx.var_type(v) is None and v not in taken),
+                           None)
+                if var is None:
+                    continue
+                for index, stmt in enumerate(block):
+                    if not isinstance(stmt, ast.For) or len(stmt.body) != 1:
+                        continue
+                    inner = stmt.body[0]
+                    if not isinstance(inner, ast.For):
+                        continue
+                    bounds = (stmt.lo, stmt.hi, inner.lo, inner.hi)
+                    if not all(isinstance(b, ast.IntLit) for b in bounds):
+                        continue
+                    if stmt.lo.value != 0 or inner.lo.value != 0:
+                        continue
+                    yield cls(subprogram=sp.name, index=index, var=var,
+                              path=path)
 
     def describe(self) -> str:
         return f"merge the loop nest at {self.index} in {self.subprogram}"
@@ -174,6 +223,12 @@ class MergeLoopNest(Transformation):
         if ctx.var_type(self.var) is not None:
             raise TransformationError(
                 f"{self.name}: variable '{self.var}' already in scope")
+        taken = bound_loop_vars(sp.body, self.path) | \
+            (names_in(inner.body) - {outer.var, inner.var})
+        if self.var in taken:
+            raise TransformationError(
+                f"{self.name}: variable '{self.var}' would capture an "
+                f"existing use")
         m = ihi + 1
         outer_remap = ast.BinOp(op="/", left=ast.Name(id=self.var),
                                 right=ast.IntLit(value=m))

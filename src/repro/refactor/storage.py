@@ -16,7 +16,7 @@ from .engine import Transformation, TransformationError, get_block, \
     replace_block
 
 __all__ = ["RemoveIntermediateVariable", "IntroduceIntermediateVariable",
-           "Rename"]
+           "RemoveDeadSubprogram", "Rename"]
 
 
 @dataclass
@@ -31,6 +31,21 @@ class RemoveIntermediateVariable(Transformation):
 
     name = "remove-intermediate-variable"
     category = "modifying redundant or intermediate storage"
+    match_neutral = True   # body/local-only: no package element changes
+
+    @classmethod
+    def enumerate_sites(cls, typed: TypedPackage):
+        """Propose every local assigned exactly once at the top level of
+        its body -- a cheap over-approximation; ``apply`` still checks
+        nested writes and value stability."""
+        for sp in typed.package.subprograms:
+            for decl in sp.decls:
+                assigned = [s for s in sp.body
+                            if isinstance(s, ast.Assign)
+                            and isinstance(s.target, ast.Name)
+                            and s.target.id == decl.name]
+                if len(assigned) == 1:
+                    yield cls(subprogram=sp.name, variable=decl.name)
 
     def describe(self) -> str:
         return f"inline and remove intermediate '{self.variable}' in " \
@@ -149,6 +164,72 @@ class IntroduceIntermediateVariable(Transformation):
                 body=replace_block(sp.body, self.path, new_block)))
 
 
+def _referents(pkg: ast.Package, name: str) -> Tuple[str, ...]:
+    """Package locations that still call ``name``: other subprograms (via
+    FuncCall/ProcCall anywhere in their decls, body, pre or post) and
+    package-level declarations whose initializer mentions it."""
+    out = []
+    for sp in pkg.subprograms:
+        if sp.name == name:
+            continue
+        if any(isinstance(node, (ast.FuncCall, ast.ProcCall))
+               and node.name == name for node in ast.walk(sp)):
+            out.append(sp.name)
+    for decl in pkg.decls:
+        if any(isinstance(node, ast.FuncCall) and node.name == name
+               for node in ast.walk(decl)):
+            out.append(getattr(decl, "name", None) or type(decl).__name__)
+    return tuple(out)
+
+
+@dataclass
+class RemoveDeadSubprogram(Transformation):
+    """Delete a subprogram nothing in the package references any more.
+
+    Superseded originals accumulate while a working copy (the ``_B``
+    suffix convention) is grown next to them; once the last caller moves
+    over, the original is dead storage that keeps its base name occupied
+    and its verification conditions in the workload.  Removing it is the
+    enabling tidy-up for the suffix-dropping renames."""
+
+    subprogram: str
+
+    name = "remove-dead-subprogram"
+    category = "modifying redundant or intermediate storage"
+
+    @classmethod
+    def enumerate_sites(cls, typed: TypedPackage):
+        """Propose every subprogram with no referents, in package order.
+        Over-approximates on purpose: externally visible (observable)
+        subprograms have no in-package callers either, and this class
+        cannot know the caller's observable interface -- the engine
+        rejects those applications instead (see
+        ``RefactoringEngine.apply``)."""
+        for sp in typed.package.subprograms:
+            if not _referents(typed.package, sp.name):
+                yield cls(subprogram=sp.name)
+
+    def describe(self) -> str:
+        return f"remove dead subprogram '{self.subprogram}'"
+
+    def affected_subprograms(self, typed):
+        return []
+
+    def apply(self, typed: TypedPackage) -> ast.Package:
+        pkg = typed.package
+        if not any(sp.name == self.subprogram for sp in pkg.subprograms):
+            raise TransformationError(
+                f"{self.name}: no subprogram named '{self.subprogram}'")
+        referents = _referents(pkg, self.subprogram)
+        if referents:
+            raise TransformationError(
+                f"{self.name}: '{self.subprogram}' is still referenced by "
+                f"{', '.join(sorted(referents))}")
+        return dataclasses.replace(
+            pkg, subprograms=tuple(sp for sp in pkg.subprograms
+                                   if sp.name != self.subprogram))
+
+
 @dataclass
 class Rename(Transformation):
     """Rename a subprogram, type, or constant across the package -- the
@@ -161,6 +242,33 @@ class Rename(Transformation):
 
     name = "rename"
     category = "modifying redundant or intermediate storage"
+
+    #: Working-copy suffix the AES refactoring uses while a byte-typed
+    #: replacement coexists with the word-typed original (``Encrypt_B``
+    #: next to ``Encrypt``); once the original is gone, dropping the
+    #: suffix is the mechanical tidy-up site enumeration proposes.
+    WORKING_SUFFIX = "_B"
+
+    @classmethod
+    def enumerate_sites(cls, typed: TypedPackage):
+        """Propose dropping the working-copy suffix wherever the base
+        name has become free, in declaration order per kind."""
+        taken = set(typed.signatures) | set(typed.types) \
+            | set(typed.constants)
+        groups = (
+            ("subprogram", [sp.name for sp in typed.package.subprograms]),
+            ("type", [d.name for d in typed.package.decls
+                      if getattr(d, "name", None) in typed.types]),
+            ("constant", [d.name for d in typed.package.decls
+                          if getattr(d, "name", None) in typed.constants]),
+        )
+        for kind, names in groups:
+            for old in names:
+                if not old.endswith(cls.WORKING_SUFFIX):
+                    continue
+                new = old[:-len(cls.WORKING_SUFFIX)]
+                if new and new not in taken:
+                    yield cls(kind=kind, old=old, new=new)
 
     def describe(self) -> str:
         return f"rename {self.kind} {self.old} -> {self.new}"

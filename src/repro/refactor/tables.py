@@ -43,6 +43,28 @@ class ReverseTableLookup(Transformation):
     name = "reverse-table-lookup"
     category = "reversing table lookups"
 
+    #: Companion-function suffix: a function ``T_F`` next to a constant
+    #: table ``T`` is, by the package's naming convention, the explicit
+    #: computation the table caches -- exactly the reversal target.
+    FUNCTION_SUFFIX = "_F"
+
+    @classmethod
+    def enumerate_sites(cls, typed: TypedPackage):
+        """Propose reversing every constant array table that has a
+        one-argument companion function ``<table>_F``, in declaration
+        order.  Whether the function really computes the table is
+        ``apply``'s exhaustive-evaluation theorem, not enumeration's."""
+        for decl in typed.package.decls:
+            name = getattr(decl, "name", None)
+            if name is None or name not in typed.constants:
+                continue
+            if not isinstance(typed.constants[name][0], ArrayType):
+                continue
+            fname = name + cls.FUNCTION_SUFFIX
+            sig = typed.signatures.get(fname)
+            if sig is not None and sig.is_function and len(sig.params) == 1:
+                yield cls(table=name, function_name=fname)
+
     def describe(self) -> str:
         target = self.function_name or \
             parse_subprogram(self.function_source).name

@@ -7,9 +7,10 @@ from repro.lang import ast
 from repro.refactor import (
     ExtractFunction, ExtractProcedureClone, IntroduceIntermediateVariable,
     MergeLoopNest, MoveIntoConditional, MoveOutOfConditional,
-    RefactoringEngine, RemoveIntermediateVariable, Rename, RerollLoop,
-    ReverseTableLookup, SeparateLoop, ShiftLoopBounds, SplitLoopNest,
-    SplitProcedure, TransformationError, UserSpecifiedTransformation,
+    RefactoringEngine, RemoveDeadSubprogram, RemoveIntermediateVariable,
+    Rename, RerollLoop, ReverseTableLookup, SeparateLoop, ShiftLoopBounds,
+    SplitLoopNest, SplitProcedure, TransformationError,
+    UserSpecifiedTransformation,
 )
 
 UNROLLED = """
@@ -93,6 +94,123 @@ end P;
         assert print_package(engine.package) != before
         engine.undo()
         assert print_package(engine.package) == before
+
+
+class TestFreshVariableCapture:
+    """Loop variables live outside the declared context, so "fresh" must
+    mean more than ``ctx.var_type(v) is None``.  Regression tests for the
+    planner-discovered defect where rerolling statements *inside* an
+    existing ``for I`` loop introduced an inner loop also named I: the
+    outer-loop occurrences in the rerolled statements were silently
+    captured (``RK (6*I + ...)`` started indexing with the inner I),
+    producing a type-correct but wrong program."""
+
+    NESTED = """
+package P is
+   type Byte is mod 256;
+   type Arr is array (0 .. 7) of Byte;
+   procedure Q (A : in Arr; B : out Arr) is
+   begin
+      for I in 0 .. 1 loop
+         B (4 * I + 0) := A (4 * I + 0) xor 255;
+         B (4 * I + 1) := A (4 * I + 1) xor 255;
+         B (4 * I + 2) := A (4 * I + 2) xor 255;
+         B (4 * I + 3) := A (4 * I + 3) xor 255;
+      end loop;
+   end Q;
+end P;
+"""
+
+    def test_reroll_rejects_enclosing_loop_variable(self):
+        engine = engine_for(self.NESTED, ["Q"])
+        with pytest.raises(TransformationError, match="capture"):
+            engine.apply(RerollLoop(subprogram="Q", start=0, group_size=1,
+                                    count=4, var="I", path=(0,)))
+
+    def test_reroll_enumeration_avoids_shadowing(self):
+        typed = analyze(parse_package(self.NESTED))
+        inner_sites = [s for s in RerollLoop.enumerate_sites(typed)
+                       if s.path == (0,)]
+        assert inner_sites, "the unrolled run inside the loop is a site"
+        assert all(s.var != "I" for s in inner_sites)
+        # The non-shadowing variable must also yield a *correct* program:
+        # the symbolic equivalence theorem accepts the nested reroll.
+        engine = engine_for(self.NESTED, ["Q"])
+        application = engine.apply(inner_sites[0])
+        assert application.preserved
+        outer = engine.package.subprogram("Q").body[0]
+        assert isinstance(outer.body[0], ast.For)
+        assert outer.body[0].var != outer.var
+
+    def test_reroll_rejects_variable_used_in_statements(self):
+        # Wrapping statements that *contain* a loop over I in a new outer
+        # loop over I is the capture in the other direction.
+        src = UNROLLED.replace(
+            "      B (3) := A (3) xor 255;",
+            "      B (3) := A (3) xor 255;\n"
+            "      for I in 0 .. 3 loop\n"
+            "         B (I) := B (I) xor 1;\n"
+            "      end loop;")
+        engine = engine_for(src, ["Q"])
+        with pytest.raises(TransformationError, match="capture"):
+            # group = [one assignment, the I-loop] repeated: inapplicable
+            # anyway, but the capture check must fire first and the var
+            # check must hold for any hand-built instance.
+            engine.apply(RerollLoop(subprogram="Q", start=3, group_size=2,
+                                    count=1, var="I"))
+
+    def test_split_rejects_enclosing_and_equal_variables(self):
+        src = """
+package P is
+   type Byte is mod 256;
+   type Arr is array (0 .. 7) of Byte;
+   procedure Q (A : in Arr; B : out Arr) is
+   begin
+      for I in 0 .. 1 loop
+         for K in 0 .. 3 loop
+            B (4 * I + K) := A (4 * I + K) xor 255;
+         end loop;
+      end loop;
+   end Q;
+end P;
+"""
+        engine = engine_for(src, ["Q"])
+        with pytest.raises(TransformationError, match="capture"):
+            engine.apply(SplitLoopNest(subprogram="Q", index=0, inner=2,
+                                       outer_var="I", inner_var="J",
+                                       path=(0,)))
+        with pytest.raises(TransformationError, match="differ"):
+            engine.apply(SplitLoopNest(subprogram="Q", index=0, inner=2,
+                                       outer_var="J", inner_var="J",
+                                       path=(0,)))
+
+    def test_merge_rejects_enclosing_loop_variable(self):
+        src = """
+package P is
+   type Byte is mod 256;
+   type Arr is array (0 .. 7) of Byte;
+   procedure Q (A : in Arr; B : out Arr) is
+   begin
+      for I in 0 .. 1 loop
+         for J in 0 .. 1 loop
+            for K in 0 .. 1 loop
+               B (4 * I + 2 * J + K) := A (4 * I + 2 * J + K) xor 255;
+            end loop;
+         end loop;
+      end loop;
+   end Q;
+end P;
+"""
+        engine = engine_for(src, ["Q"])
+        with pytest.raises(TransformationError, match="capture"):
+            engine.apply(MergeLoopNest(subprogram="Q", index=0, var="I",
+                                       path=(0,)))
+        typed = analyze(parse_package(src))
+        inner = [s for s in MergeLoopNest.enumerate_sites(typed)
+                 if s.path == (0,)]
+        assert inner and all(s.var not in ("I", "J", "K") for s in inner)
+        application = engine.apply(inner[0])
+        assert application.preserved
 
 
 class TestConditionals:
@@ -423,6 +541,65 @@ end P;
         assert "Block16" in text
 
 
+class TestRemoveDeadSubprogram:
+    """A superseded original (no remaining callers) can be deleted; a
+    subprogram anything still references -- or one on the observable
+    interface of a full-interface engine -- cannot."""
+
+    SRC = """
+package P is
+   type Byte is mod 256;
+   function Double (X : Byte) return Byte is
+   begin
+      return X * 2;
+   end Double;
+   procedure Old_Q (A : in Byte; B : out Byte) is
+   begin
+      B := Double (A);
+   end Old_Q;
+   procedure Q (A : in Byte; B : out Byte) is
+   begin
+      B := A xor 255;
+   end Q;
+end P;
+"""
+
+    def test_remove_dead_subprogram(self):
+        engine = engine_for(self.SRC, ["Q"])
+        application = engine.apply(RemoveDeadSubprogram(subprogram="Old_Q"))
+        assert application.preserved
+        names = [sp.name for sp in engine.package.subprograms]
+        assert names == ["Double", "Q"]
+        # Removing Old_Q orphaned Double; it is now removable too.
+        engine.apply(RemoveDeadSubprogram(subprogram="Double"))
+        assert [sp.name for sp in engine.package.subprograms] == ["Q"]
+
+    def test_rejects_referenced_subprogram(self):
+        engine = engine_for(self.SRC, ["Q"])
+        with pytest.raises(TransformationError, match="referenced by Old_Q"):
+            engine.apply(RemoveDeadSubprogram(subprogram="Double"))
+
+    def test_rejects_missing_subprogram(self):
+        engine = engine_for(self.SRC, ["Q"])
+        with pytest.raises(TransformationError, match="no subprogram"):
+            engine.apply(RemoveDeadSubprogram(subprogram="Nope"))
+
+    def test_enumerates_uncalled_in_package_order(self):
+        typed = analyze(parse_package(self.SRC))
+        sites = [s.subprogram
+                 for s in RemoveDeadSubprogram.enumerate_sites(typed)]
+        assert sites == ["Old_Q", "Q"]
+
+    def test_full_interface_engine_protects_observables(self):
+        engine = RefactoringEngine(parse_package(self.SRC), ["Q"],
+                                   check="full", check_observables=True)
+        with pytest.raises(TransformationError, match="observable"):
+            engine.apply(RemoveDeadSubprogram(subprogram="Q"))
+        # Non-observable dead code is still fair game on such an engine.
+        assert engine.apply(
+            RemoveDeadSubprogram(subprogram="Old_Q")).preserved
+
+
 class TestReverseTableLookup:
     SRC = """
 package P is
@@ -500,3 +677,34 @@ class TestUserSpecified:
 """))
         # The engine state is unchanged after a refused application.
         assert len(engine.history) == 0
+
+    def test_missing_removals_strict_by_default(self):
+        engine = engine_for(UNROLLED, ["Q"])
+        with pytest.raises(TransformationError, match="not found"):
+            engine.apply(UserSpecifiedTransformation(
+                description="remove a subprogram that is already gone",
+                remove_subprograms=("Old_Q",)))
+        with pytest.raises(TransformationError, match="not found"):
+            engine.apply(UserSpecifiedTransformation(
+                description="remove a declaration that is already gone",
+                remove_decls=("Word",)))
+
+    def test_missing_removals_tolerated_on_request(self):
+        # A planned chain may have tidied the named subprogram away
+        # already; tolerate_missing skips it instead of stranding the
+        # stage, and removals of names that *are* present still happen.
+        engine = engine_for(UNROLLED, ["Q"])
+        application = engine.apply(UserSpecifiedTransformation(
+            description="rewrite Q; removals tolerant of prior tidying",
+            remove_subprograms=("Old_Q",),
+            remove_decls=("Word",),
+            tolerate_missing=True,
+            replace_subprograms="""
+   procedure Q (A : in Arr; B : out Arr) is
+   begin
+      for I in 0 .. 3 loop
+         B (I) := A (I) xor 255;
+      end loop;
+   end Q;
+"""))
+        assert application.preserved
