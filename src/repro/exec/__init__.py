@@ -35,8 +35,8 @@ from .obligation import (
     lemma_obligation, vc_obligation,
 )
 from .payload import (
-    CallPayload, EquivTrialPayload, LemmaPayload, ObligationPayload,
-    VCPayload,
+    BatchPayload, CallPayload, EquivTrialPayload, LemmaPayload,
+    ObligationPayload, VCPayload, make_batch,
 )
 from .remote import RemoteCoordinator
 from .scheduler import (
@@ -55,7 +55,7 @@ __all__ = [
     "package_fingerprint", "theory_fingerprint",
     "vc_obligation", "equiv_trial_obligation", "lemma_obligation",
     "ObligationPayload", "VCPayload", "EquivTrialPayload", "LemmaPayload",
-    "CallPayload",
+    "CallPayload", "BatchPayload", "make_batch",
     "VC", "EQUIV_TRIAL", "LEMMA",
     "RemoteCoordinator",
 ]

@@ -95,6 +95,17 @@ class ExecConfig:
                          or 'degrade' (fall back remote→process→thread→
                          serial, recording a ``degraded`` telemetry
                          event).
+    ``batch_size``       max obligations bundled into one dispatch unit
+                         (DESIGN.md §18).  1 disables batching outright
+                         (every obligation keeps its own dispatch unit,
+                         the pre-batching wire behaviour); must be an
+                         integer >= 1.  Batching never changes verdicts
+                         -- only how many round trips carry them.
+    ``batch_bytes_cap``  upper bound (bytes) on one batch's estimated
+                         pickled size; also sets the per-item join
+                         threshold ``batch_bytes_cap // batch_size``
+                         above which a payload is too large to join a
+                         batch and ships solo.  Must be positive.
 
     Remote-backend fields (ignored by the local backends):
 
@@ -128,6 +139,8 @@ class ExecConfig:
     remote_listen: Optional[str] = None
     lease_timeout_seconds: Optional[float] = None
     remote_shared_cache: bool = True
+    batch_size: int = 16
+    batch_bytes_cap: int = 4 * 1024 * 1024
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -172,6 +185,17 @@ class ExecConfig:
         if not isinstance(self.remote_shared_cache, bool):
             raise ValueError(f"remote_shared_cache must be a boolean, "
                              f"got {self.remote_shared_cache!r}")
+        if isinstance(self.batch_size, bool) \
+                or not isinstance(self.batch_size, int) \
+                or self.batch_size < 1:
+            raise ValueError(f"batch_size must be an integer >= 1, "
+                             f"got {self.batch_size!r} (1 disables "
+                             f"batching; 0 would silently drop work)")
+        if isinstance(self.batch_bytes_cap, bool) \
+                or not isinstance(self.batch_bytes_cap, int) \
+                or self.batch_bytes_cap <= 0:
+            raise ValueError(f"batch_bytes_cap must be a positive integer "
+                             f"(bytes), got {self.batch_bytes_cap!r}")
         if self.backend == "remote" and not workers \
                 and self.remote_listen is None:
             raise ValueError(
@@ -193,7 +217,9 @@ class ExecConfig:
             remote_workers=self.remote_workers,
             remote_listen=self.remote_listen,
             lease_timeout_seconds=self.lease_timeout_seconds,
-            remote_shared_cache=self.remote_shared_cache)
+            remote_shared_cache=self.remote_shared_cache,
+            batch_size=self.batch_size,
+            batch_bytes_cap=self.batch_bytes_cap)
 
     def with_telemetry(self, telemetry: Telemetry) -> "ExecConfig":
         """This config with ``telemetry`` bound (components that own a
@@ -209,7 +235,8 @@ class ExecConfig:
     JSON_FIELDS = ("jobs", "backend", "timeout_seconds", "retries",
                    "on_error", "on_backend_failure", "cache_memory_entries",
                    "remote_workers", "remote_listen",
-                   "lease_timeout_seconds", "remote_shared_cache")
+                   "lease_timeout_seconds", "remote_shared_cache",
+                   "batch_size", "batch_bytes_cap")
 
     def to_json(self) -> dict:
         """The JSON-portable fields of this config (see

@@ -21,6 +21,13 @@ Fault-tolerance events extend the life cycle (DESIGN.md §12):
 * ``WORKER_ABANDONED`` -- pool shutdown left an unresponsive worker
   behind (``kind='exec'``; the obligation itself was already recorded
   ``timed_out``).
+* ``DISPATCHED`` -- one dispatch unit (a solo obligation or a
+  :class:`~repro.exec.payload.BatchPayload` bundle) completed its round
+  trip to a worker (``kind='exec'``; non-terminal bookkeeping).  ``wall``
+  carries the *dispatch overhead*: round-trip wall minus the summed
+  per-item execution walls -- the pickling/wire/queue cost the batching
+  layer (DESIGN.md §18) exists to amortize.  ``detail`` is
+  ``items=<K>``; ``K > 1`` marks a batched dispatch.
 
 Live subscription: a :class:`~repro.exec.telemetry.Telemetry` is not only
 a log to post-process after the run -- callers can attach a callback with
@@ -41,7 +48,7 @@ __all__ = [
     "ObligationEvent", "EventSubscription",
     "SUBMITTED", "STARTED", "FINISHED", "CACHED", "TIMED_OUT", "ERRORED",
     "RETRIED", "SKIPPED", "CRASHED", "QUARANTINED", "DEGRADED",
-    "RETRIED_OK", "WORKER_ABANDONED", "TERMINAL_EVENTS",
+    "RETRIED_OK", "WORKER_ABANDONED", "DISPATCHED", "TERMINAL_EVENTS",
 ]
 
 SUBMITTED = "submitted"
@@ -57,6 +64,7 @@ QUARANTINED = "quarantined"
 DEGRADED = "degraded"
 RETRIED_OK = "retried_ok"
 WORKER_ABANDONED = "worker_abandoned"
+DISPATCHED = "dispatched"
 
 #: Events that end an obligation's life (used for queue-depth accounting).
 #: ``CRASHED`` is deliberately absent -- a crashed-once obligation is

@@ -21,7 +21,12 @@ discipline :mod:`repro.serve.journal` uses for requests), the worker
 ``ack``\\ s receipt, and the terminal ``result`` message retires the
 lease.  A lease that outlives its deadline marks the whole connection
 suspect -- the coordinator closes it and blames every lease the worker
-held, exactly as if the host had died.
+held, exactly as if the host had died.  Since protocol version 3 a
+lease may carry a whole :class:`~repro.exec.payload.BatchPayload`
+(``lease_batch``/``result_batch``, DESIGN.md §18): one wire round trip,
+one worker slot, per-obligation bookkeeping -- the coordinator
+decomposes the batched results back into per-obligation events, and a
+dead connection blames every member of a batched lease.
 
 **Failure taxonomy.**  A dead connection (EOF, send failure, protocol
 violation, expired lease) is one event: ``("lost", name, indices,
@@ -65,14 +70,25 @@ class _Worker:
 
 
 class _Lease:
-    def __init__(self, lease_id: str, index: int, worker: _Worker,
-                 deadline: Optional[float], key: Optional[str]):
+    """One dispatch unit on one worker: a solo obligation
+    (``indices == (i,)``) or a :class:`~repro.exec.payload.BatchPayload`
+    bundle.  ``keys`` maps member index -> cache key (for the
+    write-through of delivered verdicts); a lost connection blames every
+    member."""
+
+    def __init__(self, lease_id: str, indices: tuple, worker: _Worker,
+                 deadline: Optional[float],
+                 keys: Optional[Dict[int, str]] = None):
         self.lease_id = lease_id
-        self.index = index
+        self.indices = indices
         self.worker = worker
         self.deadline = deadline
-        self.key = key
+        self.keys = keys or {}
         self.acked = False
+
+    @property
+    def index(self) -> int:
+        return self.indices[0]
 
 
 class RemoteCoordinator:
@@ -213,8 +229,8 @@ class RemoteCoordinator:
                 lease_id = f"L{self._sequence}"
                 deadline = (time.monotonic() + self._lease_timeout
                             if self._lease_timeout is not None else None)
-                lease = _Lease(lease_id, index, worker, deadline,
-                               cache_key)
+                keys = {index: cache_key} if cache_key is not None else None
+                lease = _Lease(lease_id, (index,), worker, deadline, keys)
                 self._leases[lease_id] = lease
                 worker.lease_ids.add(lease_id)
             message = {
@@ -236,6 +252,57 @@ class RemoteCoordinator:
                     worker.lease_ids.discard(lease_id)
                 self._drop_worker(worker, f"send failed: {exc}")
                 # Another worker may have capacity; try again.
+
+    def lease_batch(self, indices: Sequence[int], batch, retry_policy,
+                    timeout_seconds: Optional[float],
+                    avoid: Sequence[str] = ()) -> Optional[str]:
+        """Lease one :class:`~repro.exec.payload.BatchPayload` as a
+        single dispatch unit occupying *one* slot on its worker (the
+        batch is one wire message and one ``ack``/``result_batch`` round
+        trip -- amortizing the per-obligation dispatch cost is its whole
+        point).  Member bookkeeping stays per-obligation: the lease
+        records every member index, so a dead connection blames each of
+        them and the scheduler re-runs them solo.  Returns the worker's
+        name, or ``None`` when no worker has capacity."""
+        indices = tuple(indices)
+        keys = {index: key for index, _, _, key in batch.entries
+                if key is not None}
+        while True:
+            with self._lock:
+                open_slots = [w for w in self._workers.values()
+                              if len(w.lease_ids) < self._per_worker]
+                if not open_slots:
+                    return None
+                preferred = [w for w in open_slots
+                             if w.name not in avoid] or open_slots
+                worker = min(preferred, key=lambda w: len(w.lease_ids))
+                self._sequence += 1
+                lease_id = f"L{self._sequence}"
+                # A batch's deadline scales with its size: K obligations
+                # legitimately take K times one obligation's budget.
+                deadline = (time.monotonic()
+                            + self._lease_timeout * len(indices)
+                            if self._lease_timeout is not None else None)
+                lease = _Lease(lease_id, indices, worker, deadline, keys)
+                self._leases[lease_id] = lease
+                worker.lease_ids.add(lease_id)
+            message = {
+                "op": "lease_batch", "lease": lease_id,
+                "indices": list(indices),
+                "blob": encode_blob((batch, retry_policy)),
+                "timeout": timeout_seconds,
+            }
+            try:
+                worker.link.send(message)
+                return worker.name
+            except OSError as exc:
+                # Same discipline as ``lease``: a send-time death means
+                # the batch never reached the worker -- retire it before
+                # dropping the worker so no member is blamed.
+                with self._lock:
+                    self._leases.pop(lease_id, None)
+                    worker.lease_ids.discard(lease_id)
+                self._drop_worker(worker, f"send failed: {exc}")
 
     # -- connection service -------------------------------------------------
 
@@ -357,12 +424,42 @@ class RemoteCoordinator:
                 result = (lease.index, "errored",
                           f"undecodable result blob from "
                           f"{worker.name}: {exc}", 0.0, 1, (), None)
-            if lease.key is not None and len(result) > 2 \
-                    and result[1] == "ok":
+            key = lease.keys.get(lease.index)
+            if key is not None and len(result) > 2 and result[1] == "ok":
                 with self._lock:
-                    self._result_wire[lease.key] = result[2]
+                    self._result_wire[key] = result[2]
             self.events.put(("result", lease.index, result, worker.name,
                              message.get("served", "computed")))
+        elif message.get("reply") == "result_batch":
+            with self._lock:
+                lease = self._leases.pop(message.get("lease"), None)
+                if lease is not None:
+                    lease.worker.lease_ids.discard(lease.lease_id)
+            if lease is None:
+                return   # stale: lease expired/blamed before the results
+            # Decompose the batch into the per-obligation ("result", ...)
+            # events the scheduler already understands -- batching is
+            # invisible above the coordinator except for its telemetry.
+            try:
+                results = tuple(decode_blob(message["blob"]))
+            except Exception as exc:   # noqa: BLE001 - wire-data boundary
+                results = tuple(
+                    (index, "errored",
+                     f"undecodable batch result blob from "
+                     f"{worker.name}: {exc}", 0.0, 1, (), None)
+                    for index in lease.indices)
+            served = message.get("served")
+            if not isinstance(served, list) or len(served) != len(results):
+                served = ["computed"] * len(results)
+            for result, tier in zip(results, served):
+                index = result[0]
+                key = lease.keys.get(index)
+                if key is not None and len(result) > 2 \
+                        and result[1] == "ok":
+                    with self._lock:
+                        self._result_wire[key] = result[2]
+                self.events.put(("result", index, result, worker.name,
+                                 tier))
         elif message.get("op") == "cache_get":
             wire = None
             key = message.get("key")
@@ -405,7 +502,7 @@ class RemoteCoordinator:
             for lease_id in sorted(worker.lease_ids):
                 lease = self._leases.pop(lease_id, None)
                 if lease is not None:
-                    indices.append(lease.index)
+                    indices.extend(lease.indices)
             worker.lease_ids.clear()
             if indices and not self._stopping.is_set():
                 strikes = self._strikes.get(worker.name, 0) + 1

@@ -28,6 +28,12 @@ Per lease, the worker answers from three tiers, cheapest first:
 
 The served tier travels back on the ``result`` message, so telemetry
 can attribute farm-level cache behaviour.
+
+Batched leases (protocol version 3): a ``lease_batch`` ships many small
+obligations in one message; the worker absorbs the hoisted warm-norm
+caches once, answers each member from its local tier or computes it,
+and replies with one ``result_batch``.  See :func:`_handle_lease_batch`
+for why the coordinator ``cache_get`` tier is skipped inside a batch.
 """
 
 from __future__ import annotations
@@ -105,6 +111,42 @@ def _handle_lease(link: Link, message: dict, shared_cache: bool,
                "served": served, "blob": encode_blob(result)})
 
 
+def _handle_lease_batch(link: Link, message: dict,
+                        local_cache: Dict[str, object]) -> None:
+    """Execute one :class:`~repro.exec.payload.BatchPayload` lease
+    (protocol version 3): absorb the hoisted warm-norm caches exactly
+    once, then run every member through the same per-item machinery as a
+    solo lease.  The coordinator ``cache_get`` tier is deliberately *not*
+    consulted per member -- a per-item read-through round trip would
+    reintroduce exactly the per-obligation wire latency batching exists
+    to amortize; the worker's own local cache (warm across leases) still
+    answers repeats, and the coordinator's write-through keeps the shared
+    tier warm for later solo leases."""
+    from ..payload import _absorb_warm
+
+    lease_id = message.get("lease")
+    link.send({"reply": "ack", "lease": lease_id})
+    batch, retry_policy = decode_blob(message["blob"])
+    for warm_key, warm_norms in batch.warm:
+        _absorb_warm(warm_key, warm_norms)
+    results = []
+    served = []
+    for index, payload, token, key in batch.entries:
+        if key is not None and key in local_cache:
+            results.append((index, "ok", local_cache[key], 0.0, 1, (),
+                            None))
+            served.append("local")
+            continue
+        result = _process_worker(index, payload, retry_policy,
+                                 message.get("timeout"), token)
+        if key is not None and result[1] == "ok":
+            local_cache[key] = result[2]
+        results.append(result)
+        served.append("computed")
+    link.send({"reply": "result_batch", "lease": lease_id,
+               "served": served, "blob": encode_blob(tuple(results))})
+
+
 def _serve_connection(sock: socket.socket, name: str,
                       local_cache: Dict[str, object]) -> bool:
     """Handshake and serve leases until the stream ends.  Returns False
@@ -135,6 +177,8 @@ def _serve_connection(sock: socket.socket, name: str,
             if message.get("op") == "lease":
                 _handle_lease(link, message, shared_cache, local_cache,
                               pending)
+            elif message.get("op") == "lease_batch":
+                _handle_lease_batch(link, message, local_cache)
             # Anything else: ignore (forward compatibility).
     except ProtocolError as exc:
         if exc.code == "protocol_mismatch":

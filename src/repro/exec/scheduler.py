@@ -74,7 +74,9 @@ obligations on the fallback backend.
 
 from __future__ import annotations
 
+import io
 import os
+import pickle
 import signal
 import threading
 import time
@@ -89,6 +91,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from . import events as ev
 from .cache import ResultCache, default_cache
 from .obligation import Obligation
+from .payload import make_batch
 from .retry import RetryPolicy
 from .telemetry import Telemetry, default_telemetry
 
@@ -210,6 +213,66 @@ def _process_worker(index: int, payload, retry_policy: RetryPolicy,
             signal.signal(signal.SIGALRM, previous)
 
 
+def _batch_worker(batch, retry_policy: RetryPolicy,
+                  timeout_seconds: Optional[float]) -> tuple:
+    """Execute one :class:`~repro.exec.payload.BatchPayload` in a pool
+    worker: absorb the hoisted warm normalization batches exactly once,
+    then run each entry through the same per-item machinery a solo
+    dispatch uses (:func:`_process_worker` installs and clears its own
+    alarm per entry, so per-item timeout, retry, and jitter accounting
+    are identical to unbatched dispatch).  Returns one standard result
+    tuple per entry, in entry order."""
+    from .payload import _absorb_warm
+    for warm_key, warm_norms in batch.warm:
+        _absorb_warm(warm_key, warm_norms)
+    return tuple(
+        _process_worker(index, payload, retry_policy, timeout_seconds,
+                        token)
+        for index, payload, token, _key in batch.entries)
+
+
+class _BatchSizer:
+    """Marginal-size meter for one forming batch (DESIGN.md §18).
+
+    Measures each candidate payload's pickled size *in the context of
+    the batch being formed*: one shared pickler keeps its memo across
+    items, so an object an admitted sibling already ships (a common
+    package AST, a reference theory) costs a back-reference, not a
+    second serialization -- exactly the sharing the real batch blob
+    gets.  The first item of a batch therefore reports its full solo
+    size while followers report their true marginal cost, which is what
+    the admission rule compares against the per-item byte budget.
+
+    ``measure`` returns None for a payload that cannot be pickled (the
+    item is shipped solo so the submission path's loud failure behaviour
+    is preserved) and resets the meter, whose memo the failed dump may
+    have corrupted.
+    """
+
+    __slots__ = ("_buf", "_pickler")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self._buf = io.BytesIO()
+        self._pickler = pickle.Pickler(self._buf,
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+
+    @property
+    def total(self) -> int:
+        return self._buf.tell()
+
+    def measure(self, payload) -> Optional[int]:
+        before = self._buf.tell()
+        try:
+            self._pickler.dump(payload)
+        except Exception:   # noqa: BLE001 - unpicklable payloads ship solo
+            self.reset()
+            return None
+        return self._buf.tell() - before
+
+
 class ObligationScheduler:
     #: (Re)spawn attempts granted to the process pool before the backend
     #: is declared unusable.
@@ -241,7 +304,9 @@ class ObligationScheduler:
                  remote_workers: Sequence[str] = (),
                  remote_listen: Optional[str] = None,
                  lease_timeout_seconds: Optional[float] = None,
-                 remote_shared_cache: bool = True):
+                 remote_shared_cache: bool = True,
+                 batch_size: int = 16,
+                 batch_bytes_cap: int = 4 * 1024 * 1024):
         self.jobs = max(1, jobs if jobs is not None else
                         (os.cpu_count() or 1))
         if backend not in BACKENDS:
@@ -283,6 +348,17 @@ class ObligationScheduler:
                              f"got {lease_timeout_seconds!r}")
         self.lease_timeout_seconds = lease_timeout_seconds
         self.remote_shared_cache = remote_shared_cache
+        if isinstance(batch_size, bool) or not isinstance(batch_size, int) \
+                or batch_size < 1:
+            raise ValueError(f"batch_size must be an integer >= 1, "
+                             f"got {batch_size!r}")
+        self.batch_size = batch_size
+        if isinstance(batch_bytes_cap, bool) \
+                or not isinstance(batch_bytes_cap, int) \
+                or batch_bytes_cap <= 0:
+            raise ValueError(f"batch_bytes_cap must be a positive integer "
+                             f"(bytes), got {batch_bytes_cap!r}")
+        self.batch_bytes_cap = batch_bytes_cap
         if backend == "remote" and not self.remote_workers \
                 and self.remote_listen is None:
             raise ValueError(
@@ -391,6 +467,17 @@ class ObligationScheduler:
             finally:
                 done_events[index].set()
 
+        def run_batch(indices: tuple) -> Dict[int, ObligationOutcome]:
+            """One future covering several obligations, run in index
+            order (DESIGN.md §18).  There is no wire here, so thread
+            batching only amortizes future/collector machinery for
+            micro-obligation swarms; every item still runs through
+            ``worker`` and sets its own done event, keeping group
+            chaining intact.  The FIFO no-deadlock argument is the solo
+            one: a predecessor is either earlier in this bundle
+            (already run) or in an earlier-submitted future."""
+            return {i: worker(i) for i in indices}
+
         try:
             pool = ThreadPoolExecutor(max_workers=self.jobs)
         except Exception as exc:   # noqa: BLE001 - backend boundary
@@ -400,10 +487,28 @@ class ObligationScheduler:
         unusable: Optional[BaseException] = None
         stopped = False
         abandoned = False
+        # Batch only without a per-obligation timeout: the collector's
+        # per-future wait is the timeout instrument on this backend and
+        # it cannot see into a bundle.
+        batch = self.batch_size if self.timeout_seconds is None else 1
         try:
             try:
-                for i in remaining:
-                    futures[i] = pool.submit(worker, i)
+                if batch <= 1:
+                    for i in remaining:
+                        futures[i] = pool.submit(worker, i)
+                else:
+                    # Chunk depth adapts to the burst so the pool is
+                    # never starved by one deep bundle.
+                    chunk = min(batch,
+                                max(1, -(-len(remaining) // self.jobs)))
+                    for at in range(0, len(remaining), chunk):
+                        span = remaining[at:at + chunk]
+                        if len(span) == 1:
+                            futures[span[0]] = pool.submit(worker, span[0])
+                        else:
+                            shared = pool.submit(run_batch, tuple(span))
+                            for i in span:
+                                futures[i] = shared
             except RuntimeError as exc:
                 # e.g. "can't start new thread": collect what was submitted
                 # (predecessors were submitted first, so group chains among
@@ -416,7 +521,9 @@ class ObligationScheduler:
                         outcomes[i] = self._skip(obligations[i])
                         continue
                 try:
-                    outcome = future.result(timeout=self.timeout_seconds)
+                    result = future.result(timeout=self.timeout_seconds)
+                    outcome = result[i] if isinstance(result, dict) \
+                        else result
                 except _FutureTimeout:
                     # The worker cannot be preempted; abandon it (it will
                     # finish in the background and its result is discarded).
@@ -492,6 +599,19 @@ class ObligationScheduler:
         never resubmitted).  Total crashes are therefore bounded by
         ``QUARANTINE_AFTER * len(obligations)`` -- the run always
         terminates.
+
+        Batched dispatch (DESIGN.md §18): when ``batch_size > 1``, small
+        payloads drained from the ready queue are bundled into
+        :class:`~repro.exec.payload.BatchPayload` units so one pool
+        round trip (one pickle of the shared ASTs, one queue slot)
+        covers many micro-obligations.  Admission is by *marginal*
+        pickled size under ``batch_bytes_cap`` (:class:`_BatchSizer`),
+        so large VCs keep their own dispatch unit.  Per-item timeout and
+        retry accounting run worker-side exactly as for solo dispatch;
+        a broken batch blames each member once and re-runs them solo
+        under the unchanged quarantine discipline, so fault semantics
+        are those of PR-4/PR-8.  Crash-blamed suspects always ship solo
+        -- a batch is never a blame unit of more than one verdict.
         """
         n = len(obligations)
         remaining = [i for i in range(n) if outcomes[i] is None]
@@ -516,8 +636,9 @@ class ObligationScheduler:
         ready = deque(i for i in remaining if predecessor[i] is None)
         suspects: deque = deque()            # crash-blamed, re-run solo
         crash_blame: Dict[int, int] = {}
-        in_flight: Dict[object, int] = {}    # Future -> index
+        in_flight: Dict[object, tuple] = {}  # Future -> member indices
         deadlines: Dict[object, float] = {}  # Future -> abandon time
+        sent_at: Dict[object, float] = {}    # Future -> dispatch time
         finished = 0
         target = len(remaining)
         stopped = False
@@ -540,10 +661,9 @@ class ObligationScheduler:
 
         pool = self._spawn_pool()
 
-        def submit(index: int) -> bool:
-            """Dispatch one obligation: cache hit, inline (payloadless),
-            or ship to a worker.  Returns False when the pool broke at
-            submission time (the obligation is requeued, unblamed)."""
+        def settle_local(index: int) -> bool:
+            """Cache hit or payloadless inline execution: True when the
+            obligation finalized without shipping to a worker."""
             ob = obligations[index]
             keyed = ob.cache_key is not None and self.cache is not None
             if keyed:
@@ -562,23 +682,70 @@ class ObligationScheduler:
                 # semantics; _execute records its own telemetry).
                 finalize(index, self._execute(ob))
                 return True
+            return False
+
+        def ship_solo(index: int) -> bool:
+            """Ship one obligation as its own dispatch unit.  Returns
+            False when the pool broke at submission time (the obligation
+            never ran; the caller requeues it unblamed)."""
+            ob = obligations[index]
             self.telemetry.record(ev.STARTED, ob.kind, ob.label)
             try:
                 future = pool.submit(_process_worker, index, ob.payload,
                                      self.retry_policy,
                                      self.timeout_seconds, ob.label)
             except BrokenExecutor:
-                # The pool died between receipts; this obligation never
-                # ran, so it goes back to the front of its queue unblamed.
                 return False
-            in_flight[future] = index
+            in_flight[future] = (index,)
+            sent_at[future] = time.perf_counter()
             if fallback is not None:
                 deadlines[future] = time.perf_counter() + fallback
             return True
 
+        def ship_batch(indices: List[int]) -> bool:
+            """Ship several small obligations as one
+            :class:`BatchPayload` dispatch unit (a singleton degenerates
+            to a solo dispatch, keeping batch futures >= 2 members).
+            The parent fallback deadline scales with the member count:
+            worker-side SIGALRM bounds each item individually, so the
+            batch's worst legitimate case is the sum of the per-item
+            budgets."""
+            if len(indices) == 1:
+                return ship_solo(indices[0])
+            batch = make_batch([
+                (i, obligations[i].payload, obligations[i].label,
+                 obligations[i].cache_key) for i in indices])
+            for i in indices:
+                ob = obligations[i]
+                self.telemetry.record(ev.STARTED, ob.kind, ob.label)
+            try:
+                future = pool.submit(_batch_worker, batch,
+                                     self.retry_policy,
+                                     self.timeout_seconds)
+            except BrokenExecutor:
+                return False
+            in_flight[future] = tuple(indices)
+            sent_at[future] = time.perf_counter()
+            if fallback is not None:
+                deadlines[future] = time.perf_counter() \
+                    + fallback * len(indices)
+            return True
+
+        def submit(index: int) -> bool:
+            """Dispatch one obligation solo: cache hit, inline
+            (payloadless), or its own worker shipment.  Returns False
+            when the pool broke at submission time (the obligation is
+            requeued, unblamed)."""
+            return settle_local(index) or ship_solo(index)
+
         def recover(cause: BaseException):
             """Blame and requeue everything that was in flight when the
-            pool broke, quarantine double-killers, respawn the pool."""
+            pool broke, quarantine double-killers, respawn the pool.
+            Every member of an in-flight batch is blamed once -- the
+            parent cannot tell which member killed the worker -- and
+            re-runs solo, where the second crash assigns guilt
+            precisely; innocent batchmates complete their solo run
+            unblamed thereafter."""
             nonlocal pool, barren_crashes
             if in_flight:
                 barren_crashes = 0
@@ -589,26 +756,28 @@ class ObligationScheduler:
                         "process",
                         f"worker pool keeps dying with nothing in flight "
                         f"({cause})")
-            for future, index in list(in_flight.items()):
-                ob = obligations[index]
-                blame = crash_blame.get(index, 0) + 1
-                crash_blame[index] = blame
-                self.telemetry.record(
-                    ev.CRASHED, ob.kind, ob.label,
-                    detail=f"worker died ({type(cause).__name__}); "
-                           f"blame {blame}/{QUARANTINE_AFTER}")
-                if blame >= QUARANTINE_AFTER:
+            for future, members in list(in_flight.items()):
+                for index in members:
+                    ob = obligations[index]
+                    blame = crash_blame.get(index, 0) + 1
+                    crash_blame[index] = blame
                     self.telemetry.record(
-                        ev.QUARANTINED, ob.kind, ob.label,
-                        detail=f"killed a worker {blame} times")
-                    finalize(index, ObligationOutcome(
-                        obligation=ob, status=CRASHED, attempts=blame,
-                        error=f"obligation killed a worker {blame} times "
-                              f"({cause}); quarantined"))
-                else:
-                    suspects.append(index)
+                        ev.CRASHED, ob.kind, ob.label,
+                        detail=f"worker died ({type(cause).__name__}); "
+                               f"blame {blame}/{QUARANTINE_AFTER}")
+                    if blame >= QUARANTINE_AFTER:
+                        self.telemetry.record(
+                            ev.QUARANTINED, ob.kind, ob.label,
+                            detail=f"killed a worker {blame} times")
+                        finalize(index, ObligationOutcome(
+                            obligation=ob, status=CRASHED, attempts=blame,
+                            error=f"obligation killed a worker {blame} "
+                                  f"times ({cause}); quarantined"))
+                    else:
+                        suspects.append(index)
             in_flight.clear()
             deadlines.clear()
+            sent_at.clear()
             try:
                 pool.shutdown(wait=False, cancel_futures=True)
             except Exception:   # noqa: BLE001 - broken pools may misbehave
@@ -634,9 +803,76 @@ class ObligationScheduler:
                         continue    # finalized without flying (cache hit)
                     if not ready:
                         break
-                    index = ready.popleft()
-                    if not submit(index):
-                        ready.appendleft(index)
+                    # Batched fill (DESIGN.md §18): drain the ready
+                    # queue, settling cache hits and payloadless work
+                    # inline, bundling small payloads into BatchPayload
+                    # units, and shipping large ones solo.  ``chunk``
+                    # adapts the batch depth to the burst so a wide pool
+                    # is not starved by one deep batch.
+                    chunk = self.batch_size
+                    if chunk > 1:
+                        chunk = min(chunk,
+                                    max(1, -(-len(ready) // self.jobs)))
+                    join_cap = max(1, self.batch_bytes_cap
+                                   // self.batch_size)
+                    sizer = _BatchSizer()
+                    pending: List[int] = []
+                    broke = False
+
+                    def requeue(index: Optional[int] = None):
+                        # Pool broke at a ship: push the unsent work
+                        # back to the front of the queue, in order.
+                        if index is not None:
+                            ready.appendleft(index)
+                        ready.extendleft(reversed(pending))
+                        pending.clear()
+
+                    while ready and not stopped and raise_exc is None:
+                        index = ready.popleft()
+                        if settle_local(index):
+                            continue
+                        if chunk <= 1:
+                            if not ship_solo(index):
+                                requeue(index)
+                                broke = True
+                                break
+                            continue
+                        if len(pending) >= chunk \
+                                or sizer.total >= self.batch_bytes_cap:
+                            if not ship_batch(pending):
+                                requeue(index)
+                                broke = True
+                                break
+                            pending = []
+                            sizer.reset()
+                        size = sizer.measure(obligations[index].payload)
+                        if size is not None and pending \
+                                and size > join_cap:
+                            # Too big to join: flush, then let the item
+                            # re-open a fresh batch where its measured
+                            # size includes the objects its former
+                            # batchmates would have shared.
+                            if not ship_batch(pending):
+                                requeue(index)
+                                broke = True
+                                break
+                            pending = []
+                            sizer.reset()
+                            size = sizer.measure(obligations[index].payload)
+                        if size is None:
+                            # Unpicklable: ship solo so the submission
+                            # path's loud failure is preserved.
+                            if not ship_solo(index):
+                                requeue(index)
+                                broke = True
+                                break
+                            continue
+                        pending.append(index)
+                    if pending and not broke:
+                        if not ship_batch(pending):
+                            requeue()
+                            broke = True
+                    if broke:
                         recover(BrokenExecutor("pool broke at submit"))
                 if finished >= target or raise_exc is not None:
                     break
@@ -656,31 +892,32 @@ class ObligationScheduler:
                     if deadlines.get(future, now + 1) <= now:
                         # Fallback: the worker ignored its alarm or died
                         # silently; abandon the future like the thread
-                        # backend abandons an overrun thread.
-                        i = in_flight.pop(future)
+                        # backend abandons an overrun thread.  Every
+                        # member of an abandoned batch times out -- the
+                        # parent cannot retrieve partial results from an
+                        # unresponsive worker.
+                        members = in_flight.pop(future)
                         deadlines.pop(future, None)
+                        sent_at.pop(future, None)
                         abandoned = True
-                        ob = obligations[i]
-                        self.telemetry.record(
-                            ev.TIMED_OUT, ob.kind, ob.label,
-                            wall=self.timeout_seconds or 0.0)
-                        finalize(i, ObligationOutcome(
-                            obligation=ob, status=TIMED_OUT,
-                            wall_seconds=self.timeout_seconds or 0.0,
-                            error=f"no result within "
-                                  f"{self.timeout_seconds}s (worker "
-                                  f"unresponsive)"))
+                        for i in members:
+                            ob = obligations[i]
+                            self.telemetry.record(
+                                ev.TIMED_OUT, ob.kind, ob.label,
+                                wall=self.timeout_seconds or 0.0)
+                            finalize(i, ObligationOutcome(
+                                obligation=ob, status=TIMED_OUT,
+                                wall_seconds=self.timeout_seconds or 0.0,
+                                error=f"no result within "
+                                      f"{self.timeout_seconds}s (worker "
+                                      f"unresponsive)"))
                 broken_cause = None
                 for future in done:
                     if future not in in_flight:
                         continue   # abandoned above, or cleared by recovery
-                    i = in_flight[future]
-                    ob = obligations[i]
-                    keyed = ob.cache_key is not None \
-                        and self.cache is not None
+                    members = in_flight[future]
                     try:
-                        (_, status, wire, wall, attempts, retry_errors,
-                         exc_obj) = future.result()
+                        raw = future.result()
                     except BrokenExecutor as exc:
                         # Worker death poisons every in-flight future; keep
                         # this one in ``in_flight`` so recover() blames and
@@ -690,57 +927,86 @@ class ObligationScheduler:
                     except Exception as exc:   # noqa: BLE001 - unpicklable result etc.
                         in_flight.pop(future)
                         deadlines.pop(future, None)
-                        self.telemetry.record(ev.ERRORED, ob.kind,
-                                              ob.label, detail=str(exc))
-                        outcome = ObligationOutcome(
-                            obligation=ob, status=ERRORED,
-                            error=f"{type(exc).__name__}: {exc}")
-                        outcome._exception = exc   # type: ignore[attr-defined]
-                        finalize(i, outcome)
+                        sent_at.pop(future, None)
+                        for i in members:
+                            ob = obligations[i]
+                            self.telemetry.record(ev.ERRORED, ob.kind,
+                                                  ob.label,
+                                                  detail=str(exc))
+                            outcome = ObligationOutcome(
+                                obligation=ob, status=ERRORED,
+                                error=f"{type(exc).__name__}: {exc}")
+                            outcome._exception = exc   # type: ignore[attr-defined]
+                            finalize(i, outcome)
                         continue
                     in_flight.pop(future)
                     deadlines.pop(future, None)
+                    t_sent = sent_at.pop(future, None)
                     barren_crashes = 0
-                    for message in retry_errors:
-                        self.telemetry.record(ev.RETRIED, ob.kind,
-                                              ob.label, detail=message)
-                    if status == "ok":
-                        value = ob.decode(wire) if ob.decode is not None \
-                            else ob.payload.decode_result(wire)
-                        self.telemetry.record(
-                            ev.FINISHED, ob.kind, ob.label, wall=wall,
-                            detail="keyed" if keyed else "")
-                        if attempts > 1 or crash_blame.get(i):
+                    # A solo future carries one result tuple; a batch
+                    # future carries one per entry (batches always have
+                    # >= 2 members; see ship_batch).
+                    results = raw if len(members) > 1 else (raw,)
+                    busy = 0.0
+                    for (i, status, wire, wall, attempts, retry_errors,
+                         exc_obj) in results:
+                        busy += wall
+                        ob = obligations[i]
+                        keyed = ob.cache_key is not None \
+                            and self.cache is not None
+                        for message in retry_errors:
+                            self.telemetry.record(ev.RETRIED, ob.kind,
+                                                  ob.label, detail=message)
+                        if status == "ok":
+                            value = ob.decode(wire) \
+                                if ob.decode is not None \
+                                else ob.payload.decode_result(wire)
                             self.telemetry.record(
-                                ev.RETRIED_OK, ob.kind, ob.label,
-                                detail=f"succeeded on attempt {attempts}"
-                                + (", after a worker crash"
-                                   if crash_blame.get(i) else ""))
-                        if keyed:
-                            self.cache.put(ob.cache_key, value,
-                                           encode=ob.encode)
-                        finalize(i, ObligationOutcome(
-                            obligation=ob, status=OK, value=value,
-                            wall_seconds=wall, attempts=attempts))
-                    elif status == "timed_out":
-                        self.telemetry.record(ev.TIMED_OUT, ob.kind,
-                                              ob.label, wall=wall)
-                        finalize(i, ObligationOutcome(
-                            obligation=ob, status=TIMED_OUT,
-                            wall_seconds=wall, attempts=attempts,
-                            error=f"hard timeout after "
-                                  f"{self.timeout_seconds}s"))
-                    else:
-                        self.telemetry.record(ev.ERRORED, ob.kind,
-                                              ob.label, wall=wall,
-                                              detail=str(wire))
-                        outcome = ObligationOutcome(
-                            obligation=ob, status=ERRORED,
-                            wall_seconds=wall, attempts=attempts,
-                            error=str(wire))
-                        outcome._exception = exc_obj if exc_obj is not None \
-                            else RuntimeError(str(wire))   # type: ignore[attr-defined]
-                        finalize(i, outcome)
+                                ev.FINISHED, ob.kind, ob.label, wall=wall,
+                                detail="keyed" if keyed else "")
+                            if attempts > 1 or crash_blame.get(i):
+                                self.telemetry.record(
+                                    ev.RETRIED_OK, ob.kind, ob.label,
+                                    detail=f"succeeded on attempt "
+                                    f"{attempts}"
+                                    + (", after a worker crash"
+                                       if crash_blame.get(i) else ""))
+                            if keyed:
+                                self.cache.put(ob.cache_key, value,
+                                               encode=ob.encode)
+                            finalize(i, ObligationOutcome(
+                                obligation=ob, status=OK, value=value,
+                                wall_seconds=wall, attempts=attempts))
+                        elif status == "timed_out":
+                            self.telemetry.record(ev.TIMED_OUT, ob.kind,
+                                                  ob.label, wall=wall)
+                            finalize(i, ObligationOutcome(
+                                obligation=ob, status=TIMED_OUT,
+                                wall_seconds=wall, attempts=attempts,
+                                error=f"hard timeout after "
+                                      f"{self.timeout_seconds}s"))
+                        else:
+                            self.telemetry.record(ev.ERRORED, ob.kind,
+                                                  ob.label, wall=wall,
+                                                  detail=str(wire))
+                            outcome = ObligationOutcome(
+                                obligation=ob, status=ERRORED,
+                                wall_seconds=wall, attempts=attempts,
+                                error=str(wire))
+                            outcome._exception = exc_obj \
+                                if exc_obj is not None \
+                                else RuntimeError(str(wire))   # type: ignore[attr-defined]
+                            finalize(i, outcome)
+                    if t_sent is not None:
+                        # Dispatch overhead of the whole unit: round trip
+                        # minus the members' execution walls (satellite
+                        # telemetry; DESIGN.md §18).
+                        self.telemetry.record(
+                            ev.DISPATCHED, "exec",
+                            f"dispatch[{len(results)}]",
+                            wall=max(0.0, time.perf_counter() - t_sent
+                                     - busy),
+                            detail=f"items={len(results)}")
                 if broken_cause is not None:
                     recover(broken_cause)
             if raise_exc is not None:
@@ -857,6 +1123,16 @@ class ObligationScheduler:
         crash_blame: Dict[int, int] = {}
         blamed_on: Dict[int, str] = {}       # index -> worker that lost it
         in_flight: Dict[int, str] = {}       # index -> worker name
+        # Dispatch-unit bookkeeping for batched leases (DESIGN.md §18):
+        # each unit is [sent_at, live members, busy seconds, item count,
+        # poisoned].  A unit whose members all returned emits one
+        # DISPATCHED event carrying the round trip minus execution wall;
+        # a unit that lost a member (lease lost, worker dropped) is
+        # poisoned and emits nothing -- its timing measures a fault, not
+        # dispatch overhead.
+        unit_of: Dict[int, int] = {}         # index -> dispatch unit id
+        units: Dict[int, list] = {}
+        unit_seq = 0
         finished = 0
         target = len(remaining)
         stopped = False
@@ -875,10 +1151,9 @@ class ObligationScheduler:
             if stop_on is not None and not stopped and stop_on(outcome):
                 stopped = True
 
-        def submit(index: int) -> bool:
-            """Dispatch one obligation: cache hit, inline (payloadless),
-            or lease to a worker.  Returns False when no worker has an
-            open lease slot (the caller waits for results or joins)."""
+        def settle_local(index: int) -> bool:
+            """Cache hit or payloadless inline execution: True when the
+            obligation finalized without leasing to a worker."""
             ob = obligations[index]
             keyed = ob.cache_key is not None and self.cache is not None
             if keyed:
@@ -897,9 +1172,42 @@ class ObligationScheduler:
                 # (serial semantics; _execute records its own telemetry).
                 finalize(index, self._execute(ob))
                 return True
+            return False
+
+        def new_unit(indices: tuple) -> None:
+            nonlocal unit_seq
+            unit_seq += 1
+            units[unit_seq] = [time.perf_counter(), len(indices), 0.0,
+                               len(indices), False]
+            for i in indices:
+                unit_of[i] = unit_seq
+
+        def unit_done(index: int, wall: float, lost: bool = False) -> None:
+            uid = unit_of.pop(index, None)
+            if uid is None:
+                return
+            unit = units[uid]
+            unit[1] -= 1
+            unit[2] += wall
+            if lost:
+                unit[4] = True
+            if unit[1] <= 0:
+                del units[uid]
+                if not unit[4]:
+                    self.telemetry.record(
+                        ev.DISPATCHED, "exec", f"dispatch[{unit[3]}]",
+                        wall=max(0.0, time.perf_counter() - unit[0]
+                                 - unit[2]),
+                        detail=f"items={unit[3]}")
+
+        def lease_solo(index: int) -> bool:
+            """Lease one obligation as its own dispatch unit.  Returns
+            False when the farm has no open slot (the caller waits for
+            results or joins)."""
+            ob = obligations[index]
             avoid = {blamed_on[index]} if index in blamed_on else ()
-            # ``jobs`` caps the *total* in-flight leases across the farm;
-            # work above the cap stays queued parent-side.
+            # ``jobs`` caps the *total* in-flight obligations across the
+            # farm; work above the cap stays queued parent-side.
             if len(in_flight) >= self.jobs:
                 return False
             name = coordinator.lease(
@@ -909,7 +1217,40 @@ class ObligationScheduler:
                 return False
             self.telemetry.record(ev.STARTED, ob.kind, ob.label)
             in_flight[index] = name
+            new_unit((index,))
             return True
+
+        def lease_unit(indices: List[int]) -> bool:
+            """Lease several small obligations as one BatchPayload
+            dispatch unit (a singleton degenerates to a solo lease).
+            A batch occupies one lease slot on its worker -- that
+            amortization is the point -- but every member counts toward
+            the ``jobs`` in-flight cap."""
+            if len(indices) == 1:
+                return lease_solo(indices[0])
+            if len(in_flight) + len(indices) > self.jobs:
+                return False
+            batch = make_batch([
+                (i, obligations[i].payload, obligations[i].label,
+                 obligations[i].cache_key) for i in indices])
+            avoid = {blamed_on[i] for i in indices if i in blamed_on}
+            name = coordinator.lease_batch(
+                [i for i in indices], batch, self.retry_policy,
+                self.timeout_seconds, avoid=avoid)
+            if name is None:
+                return False
+            for i in indices:
+                ob = obligations[i]
+                self.telemetry.record(ev.STARTED, ob.kind, ob.label)
+                in_flight[i] = name
+            new_unit(tuple(indices))
+            return True
+
+        def submit(index: int) -> bool:
+            """Dispatch one obligation solo: cache hit, inline
+            (payloadless), or its own lease (used for crash suspects and
+            with batching off)."""
+            return settle_local(index) or lease_solo(index)
 
         try:
             if not coordinator.wait_for_workers(
@@ -934,9 +1275,76 @@ class ObligationScheduler:
                         continue    # finalized without flying (cache hit)
                     if not ready:
                         break
-                    if not submit(ready[0]):
+                    if len(in_flight) >= self.jobs:
                         break
-                    ready.popleft()
+                    # Batched fill (DESIGN.md §18), mirroring the process
+                    # backend: settle cache hits and payloadless work
+                    # inline, bundle small payloads into one lease,
+                    # ship large ones solo.  Chunk depth adapts to the
+                    # burst and the farm width.
+                    chunk = self.batch_size
+                    if chunk > 1:
+                        width = max(1, coordinator.live_workers()
+                                    * self.REMOTE_PER_WORKER_INFLIGHT)
+                        chunk = min(chunk,
+                                    max(1, -(-len(ready) // width)))
+                    join_cap = max(1, self.batch_bytes_cap
+                                   // self.batch_size)
+                    sizer = _BatchSizer()
+                    pending: List[int] = []
+                    blocked = False
+
+                    def requeue(index: Optional[int] = None):
+                        # No open slot: push the unleased work back to
+                        # the front of the queue, in order.
+                        if index is not None:
+                            ready.appendleft(index)
+                        ready.extendleft(reversed(pending))
+                        pending.clear()
+
+                    while ready and not stopped and raise_exc is None:
+                        if len(in_flight) + len(pending) >= self.jobs:
+                            break
+                        index = ready.popleft()
+                        if settle_local(index):
+                            continue
+                        if chunk <= 1:
+                            if not lease_solo(index):
+                                requeue(index)
+                                blocked = True
+                                break
+                            continue
+                        if len(pending) >= chunk \
+                                or sizer.total >= self.batch_bytes_cap:
+                            if not lease_unit(pending):
+                                requeue(index)
+                                blocked = True
+                                break
+                            pending = []
+                            sizer.reset()
+                        size = sizer.measure(obligations[index].payload)
+                        if size is not None and pending \
+                                and size > join_cap:
+                            if not lease_unit(pending):
+                                requeue(index)
+                                blocked = True
+                                break
+                            pending = []
+                            sizer.reset()
+                            size = sizer.measure(obligations[index].payload)
+                        if size is None:
+                            # Unpicklable: lease solo so the shipping
+                            # path's loud failure is preserved.
+                            if not lease_solo(index):
+                                requeue(index)
+                                blocked = True
+                                break
+                            continue
+                        pending.append(index)
+                    if pending and not blocked:
+                        if not lease_unit(pending):
+                            requeue()
+                    break
                 if finished >= target or raise_exc is not None:
                     break
                 if not in_flight and not suspects and not ready:
@@ -966,6 +1374,7 @@ class ObligationScheduler:
                         and self.cache is not None
                     (_, status, wire, wall, attempts, retry_errors,
                      exc_obj) = result
+                    unit_done(index, wall)
                     for message in retry_errors:
                         self.telemetry.record(ev.RETRIED, ob.kind,
                                               ob.label, detail=message)
@@ -1027,6 +1436,7 @@ class ObligationScheduler:
                     for index in indices:
                         if in_flight.pop(index, None) is None:
                             continue
+                        unit_done(index, 0.0, lost=True)
                         ob = obligations[index]
                         blame = crash_blame.get(index, 0) + 1
                         crash_blame[index] = blame

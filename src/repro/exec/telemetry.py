@@ -25,9 +25,9 @@ from typing import Dict, List, Optional
 
 from .atomicio import atomic_write_text
 from .events import (
-    CACHED, CRASHED, DEGRADED, ERRORED, FINISHED, QUARANTINED, RETRIED,
-    RETRIED_OK, SKIPPED, STARTED, SUBMITTED, TERMINAL_EVENTS, TIMED_OUT,
-    WORKER_ABANDONED, EventSubscription, ObligationEvent,
+    CACHED, CRASHED, DEGRADED, DISPATCHED, ERRORED, FINISHED, QUARANTINED,
+    RETRIED, RETRIED_OK, SKIPPED, STARTED, SUBMITTED, TERMINAL_EVENTS,
+    TIMED_OUT, WORKER_ABANDONED, EventSubscription, ObligationEvent,
 )
 
 __all__ = ["ExecStats", "Telemetry", "default_telemetry", "percentile"]
@@ -88,6 +88,11 @@ class ExecStats:
     p50_seconds: float = 0.0        # percentile of computed-obligation walls
     p95_seconds: float = 0.0
     max_queue_depth: int = 0
+    #: dispatch-unit accounting (DESIGN.md §18) ------------------------------
+    batched: int = 0                # dispatch units carrying > 1 obligation
+    batch_items: int = 0            # obligations shipped inside those units
+    dispatch_p50_seconds: float = 0.0   # percentile of dispatch overheads
+    dispatch_p95_seconds: float = 0.0   # (all units, solo and batched)
 
     @property
     def total(self) -> int:
@@ -126,6 +131,12 @@ class ExecStats:
             f"{self.wall_seconds:.2f} s",
             f"max queue depth            {self.max_queue_depth}",
         ]
+        if self.batched:
+            lines.append(
+                f"batched dispatches         {self.batched} "
+                f"({self.batch_items} obligations; dispatch p50 / p95 "
+                f"{self.dispatch_p50_seconds * 1000:.1f} ms / "
+                f"{self.dispatch_p95_seconds * 1000:.1f} ms)")
         if self.timeouts or self.errors or self.retries or self.skipped:
             lines.append(
                 f"timeouts / errors / retries / skipped  "
@@ -161,6 +172,10 @@ class ExecStats:
             "p50_seconds": self.p50_seconds,
             "p95_seconds": self.p95_seconds,
             "max_queue_depth": self.max_queue_depth,
+            "batched": self.batched,
+            "batch_items": self.batch_items,
+            "dispatch_p50_seconds": self.dispatch_p50_seconds,
+            "dispatch_p95_seconds": self.dispatch_p95_seconds,
         }
 
 
@@ -233,6 +248,7 @@ class Telemetry:
         events = self.events()
         stats = ExecStats()
         walls: List[float] = []
+        dispatch_walls: List[float] = []
         last_t = 0.0
         for ev in events:
             last_t = max(last_t, ev.t)
@@ -268,9 +284,23 @@ class Telemetry:
                 stats.retried_ok += 1
             elif ev.event == WORKER_ABANDONED:
                 stats.abandoned_workers += 1
+            elif ev.event == DISPATCHED:
+                dispatch_walls.append(ev.wall)
+                items = 1
+                if ev.detail.startswith("items="):
+                    try:
+                        items = int(ev.detail[len("items="):])
+                    except ValueError:
+                        pass
+                if items > 1:
+                    stats.batched += 1
+                    stats.batch_items += items
         walls.sort()
         stats.p50_seconds = _percentile(walls, 0.50)
         stats.p95_seconds = _percentile(walls, 0.95)
+        dispatch_walls.sort()
+        stats.dispatch_p50_seconds = _percentile(dispatch_walls, 0.50)
+        stats.dispatch_p95_seconds = _percentile(dispatch_walls, 0.95)
         stats.wall_seconds = last_t
         return stats
 

@@ -6,9 +6,12 @@ Run as ``python -m repro.harness.runner [--quick] [--plan] [--jobs N]
 [--max-retry-delay S] [--on-backend-failure {raise,degrade}]
 [--remote-worker HOST:PORT]... [--remote-listen [HOST:]PORT]
 [--lease-timeout S] [--no-remote-shared-cache]
+[--batch-size N] [--batch-bytes-cap BYTES] [--plan-cache PATH]
 [--incremental] [--manifest-dir DIR]``.  ``--plan`` runs the automated
 verification-refactoring planner (:mod:`repro.plan`) on the AES case
-study instead of the table/figure harness, writing ``results/plan.md``.  The flags map onto one
+study instead of the table/figure harness, writing ``results/plan.md``
+(``--plan-cache`` persists its probe scores and theorem verdicts so a
+replan replays warm).  The flags map onto one
 :class:`~repro.exec.ExecConfig` driving the proof legs; the execution
 configuration (including the retry policy and any backend degradations)
 is recorded in ``results/telemetry.json``.  ``--incremental`` replays
@@ -200,6 +203,37 @@ def _parse_retry_policy(argv) -> RetryPolicy:
     return RetryPolicy(retries=retries, max_delay=max_delay)
 
 
+def _parse_batch(argv) -> dict:
+    """The micro-obligation batching knobs (DESIGN.md §18).  Bounds are
+    enforced here *and* in ExecConfig -- the flag layer fails with the
+    flag's name, so a typo'd ``--batch-size 0`` (which would silently
+    drop work if clamped) stops the run before anything is scheduled."""
+    fields = {}
+    raw = _flag_value(argv, "--batch-size")
+    if raw is not None:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise SystemExit(f"error: --batch-size expects an integer, "
+                             f"got {raw!r}")
+        if value < 1:
+            raise SystemExit(f"error: --batch-size must be >= 1 "
+                             f"(1 disables batching), got {raw!r}")
+        fields["batch_size"] = value
+    raw = _flag_value(argv, "--batch-bytes-cap")
+    if raw is not None:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise SystemExit(f"error: --batch-bytes-cap expects bytes, "
+                             f"got {raw!r}")
+        if value <= 0:
+            raise SystemExit(f"error: --batch-bytes-cap must be a "
+                             f"positive byte count, got {raw!r}")
+        fields["batch_bytes_cap"] = value
+    return fields
+
+
 def _parse_on_backend_failure(argv) -> str:
     raw = _flag_value(argv, "--on-backend-failure")
     if raw is None:
@@ -255,13 +289,15 @@ def _parse_incremental(argv):
     return manifest_dir, incremental
 
 
-def run_plan(exec: ExecConfig) -> str:
+def run_plan(exec: ExecConfig, plan_cache=None) -> str:
     """``--plan`` mode: run the automated planner on the AES case study
-    and render its chain report (written to ``results/plan.md``)."""
+    and render its chain report (written to ``results/plan.md``).
+    ``plan_cache`` names the persistent probe/score store
+    (``--plan-cache``) so a replan replays warm."""
     from ..plan.cli import render_report
     from ..plan import plan_aes
     started = time.monotonic()
-    result = plan_aes(exec=exec)
+    result = plan_aes(exec=exec, plan_cache=plan_cache)
     return render_report(result, time.monotonic() - started)
 
 
@@ -277,6 +313,8 @@ def main(argv=None) -> int:
               "  [--remote-worker HOST:PORT]... [--remote-listen "
               "[HOST:]PORT]\n"
               "  [--lease-timeout S] [--no-remote-shared-cache]\n"
+              "  [--batch-size N] [--batch-bytes-cap BYTES] "
+              "[--plan-cache PATH]\n"
               "  [--incremental] [--manifest-dir DIR]")
         return 0
     quick = "--quick" in argv
@@ -286,11 +324,13 @@ def main(argv=None) -> int:
                             timeout_seconds=_parse_timeout(argv),
                             retries=_parse_retry_policy(argv),
                             on_backend_failure=_parse_on_backend_failure(argv),
+                            **_parse_batch(argv),
                             **_parse_remote(argv))
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
     if "--plan" in argv:
-        report = run_plan(exec=config)
+        report = run_plan(exec=config,
+                          plan_cache=_flag_value(argv, "--plan-cache"))
         print(report)
         out = Path("results")
         out.mkdir(exist_ok=True)
@@ -325,6 +365,8 @@ def main(argv=None) -> int:
         "remote_listen": config.remote_listen,
         "lease_timeout_seconds": config.lease_timeout_seconds,
         "remote_shared_cache": config.remote_shared_cache,
+        "batch_size": config.batch_size,
+        "batch_bytes_cap": config.batch_bytes_cap,
         "rewrite_hot_path": {
             "index_hits": impl.report.index_hits,
             "index_skipped_rules": impl.report.index_skipped_rules,

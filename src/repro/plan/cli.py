@@ -82,7 +82,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if "--help" in argv or "-h" in argv:
         print("usage: python -m repro.plan [--jobs N] [--backend B] "
               "[--trials N] [--beam N] [--top-k N] [--max-expansions N] "
-              "[--json] [--quiet]")
+              "[--batch-size N] [--batch-bytes-cap N] "
+              "[--plan-cache PATH] [--json] [--quiet]")
         return 0
     jobs = _int_flag(argv, "--jobs", 1)
     backend = _flag_value(argv, "--backend") or "thread"
@@ -90,15 +91,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     beam = _int_flag(argv, "--beam", 12)
     top_k = _int_flag(argv, "--top-k", 6)
     max_expansions = _int_flag(argv, "--max-expansions", 256)
+    batch_size = _int_flag(argv, "--batch-size", 16)
+    batch_bytes_cap = _int_flag(argv, "--batch-bytes-cap", 4 * 1024 * 1024)
+    plan_cache = _flag_value(argv, "--plan-cache")
     quiet = "--quiet" in argv or "--json" in argv
 
     from . import plan_aes
-    config = ExecConfig(jobs=jobs, backend=backend)
+    try:
+        config = ExecConfig(jobs=jobs, backend=backend,
+                            batch_size=batch_size,
+                            batch_bytes_cap=batch_bytes_cap)
+    except ValueError as exc:
+        # Loud failure over silent degradation: a nonsensical batching
+        # knob must stop the run, not quietly drop work.
+        raise SystemExit(str(exc))
     log = (lambda message: None) if quiet \
         else (lambda message: print(f"  {message}", flush=True))
     started = time.monotonic()
     result = plan_aes(trials=trials, exec=config, beam_width=beam,
-                      top_k=top_k, max_expansions=max_expansions, log=log)
+                      top_k=top_k, max_expansions=max_expansions,
+                      plan_cache=plan_cache, log=log)
     elapsed = time.monotonic() - started
     if "--json" in argv:
         payload = result.to_json()

@@ -45,6 +45,7 @@ from ..exec import (
 )
 from ..lang import TypedPackage, analyze, ast, print_package
 from ..refactor import RefactoringEngine, TransformationError
+from .cache import PlanCache, scoring_digest
 from .candidates import Candidate, enumerate_candidates
 from .catalog import Catalog
 from .frontier import Frontier, PlanStep, PlanState
@@ -113,13 +114,18 @@ class Planner:
                  exec: Optional[ExecConfig] = None,
                  probe_tree_bytes: int = DEFAULT_PROBE_TREE_BYTES,
                  probe_vcs: int = DEFAULT_PROBE_VCS,
+                 plan_cache=None,
                  log: Optional[Callable[[str], None]] = None):
         """``goal_match``: alternative/additional goal condition -- any
         state whose match fraction reaches it completes the plan (used
         when the catalog has no ``goal`` entry).  ``check``/``trials``/
         ``samplers``/``seed`` configure the transient validation engines
         exactly as they would a manual
-        :class:`~repro.refactor.engine.RefactoringEngine`."""
+        :class:`~repro.refactor.engine.RefactoringEngine`.
+        ``plan_cache``: a path (or a :class:`~repro.plan.cache.PlanCache`)
+        for the persistent probe/score and theorem-verdict store --
+        replanning the same program replays its scored frontier warm
+        (DESIGN.md §18)."""
         self.typed = analyze(package)
         self.observables = list(observables)
         self.reference = reference
@@ -140,6 +146,13 @@ class Planner:
         self._log = log or (lambda message: None)
         self._reference_fp = "" if reference is None \
             else theory_fingerprint(reference)
+        if plan_cache is None or isinstance(plan_cache, PlanCache):
+            self._cache: Optional[PlanCache] = plan_cache
+        else:
+            self._cache = PlanCache(plan_cache, scoring_digest(
+                self._reference_fp, probe_tree_bytes, probe_vcs,
+                check, trials, seed, self.observables))
+        self._root_fp = ""
         self._evaluations = 0
         self._validations = 0
         #: Typed forms of validated states, keyed by fingerprint
@@ -149,7 +162,16 @@ class Planner:
     # -- search -------------------------------------------------------------
 
     def plan(self) -> PlanResult:
-        root_fp = package_fingerprint(self.typed)
+        try:
+            return self._plan()
+        finally:
+            # Persist whatever was learned even when the search raises:
+            # a partial cache still warms the next replan.
+            if self._cache is not None:
+                self._cache.save()
+
+    def _plan(self) -> PlanResult:
+        root_fp = self._root_fp = package_fingerprint(self.typed)
         root_eval = StateEvaluation.from_json(self._measure_root(root_fp))
         self._typed_of[root_fp] = self.typed
         frontier = Frontier(self.beam_width)
@@ -197,6 +219,37 @@ class Planner:
         rejection.  The root validates trivially."""
         if state.transformation is None:
             return True
+        token = candidate_token(state.transformation)
+        cache_key = None
+        if self._cache is not None:
+            parent_fp = state.chain[-2].fingerprint \
+                if len(state.chain) >= 2 else self._root_fp
+            cache_key = PlanCache.validation_key(
+                parent_fp, state.fingerprint, token, self.check,
+                self.trials, self.seed, self.observables)
+            verdict = self._cache.get_validation(cache_key)
+            if verdict is not None:
+                # A cached verdict still counts as a validation: the
+                # edge was checked, just not in this process.
+                if not verdict["ok"]:
+                    self._validations += 1
+                    rejected.append((token,
+                                     state.transformation.describe(),
+                                     verdict.get("reason", "")))
+                    self._log(f"rejected (cached theorem): "
+                              f"{state.transformation.describe()}: "
+                              f"{verdict.get('reason', '')}")
+                    return False
+                if self._replay_accepted(state, parent_fp):
+                    self._validations += 1
+                    last = state.chain[-1]
+                    self._log(f"step {state.depth}: {last.description} "
+                              f"(score {state.score:+.4f}, "
+                              f"match {last.match_percent:.1f}%, "
+                              f"cached theorem)")
+                    return True
+                # Replay disagreed with the cached child fingerprint:
+                # distrust the entry and run the full validation below.
         # check_observables: an automated search composes hundreds of
         # steps, so every accepted edge carries the end-to-end theorem
         # over the observables -- a narrow affected-subprogram check
@@ -206,23 +259,47 @@ class Planner:
             check=self.check, trials=self.trials, seed=self.seed,
             samplers=self.samplers, exec=self.exec,
             check_observables=True)
-        token = candidate_token(state.transformation)
         try:
             engine.apply(state.transformation)
         except TransformationError as exc:
             self._validations += 1
             rejected.append((token, state.transformation.describe(),
                              str(exc)))
+            if cache_key is not None:
+                self._cache.put_validation(cache_key, False, str(exc))
             self._log(f"rejected (theorem): "
                       f"{state.transformation.describe()}: {exc}")
             return False
         self._validations += 1
+        if cache_key is not None:
+            self._cache.put_validation(cache_key, True)
         state.package = engine.package
         self._typed_of[state.fingerprint] = engine.typed
         last = state.chain[-1]
         self._log(f"step {state.depth}: {last.description} "
                   f"(score {state.score:+.4f}, "
                   f"match {last.match_percent:.1f}%)")
+        return True
+
+    def _replay_accepted(self, state: PlanState, parent_fp: str) -> bool:
+        """Materialize a cached-accepted edge mechanically: apply the
+        transformation without the differential trials (the theorem was
+        checked when the verdict was cached), then double-check the
+        result against the fingerprint the evaluation promised.  False
+        -- with nothing mutated -- sends the caller to full validation."""
+        try:
+            typed_parent = self._typed_of.get(parent_fp)
+            if typed_parent is None:
+                typed_parent = analyze(state.parent_package)
+                self._typed_of[parent_fp] = typed_parent
+            new_package = state.transformation.apply(typed_parent)
+            typed = analyze(new_package)
+        except Exception:   # noqa: BLE001 - cached-replay fault boundary
+            return False
+        if package_fingerprint(typed) != state.fingerprint:
+            return False
+        state.package = new_package
+        self._typed_of[state.fingerprint] = typed
         return True
 
     def _expand(self, state: PlanState, visited) -> List[PlanState]:
@@ -304,20 +381,33 @@ class Planner:
         obligations = [
             self._obligation(state, candidate, parent_match, probe)
             for candidate in candidates]
-        outcomes = self.exec.scheduler().run(obligations)
         self._evaluations += len(obligations)
-        results = []
-        for outcome in outcomes:
+        results: List[Optional[StateEvaluation]] = [None] * len(obligations)
+        pending: List[Tuple[int, Obligation]] = []
+        for i, obligation in enumerate(obligations):
+            cached = None if self._cache is None \
+                else self._cache.get_evaluation(obligation.cache_key)
+            if cached is not None:
+                results[i] = StateEvaluation.from_json(cached)
+            else:
+                pending.append((i, obligation))
+        outcomes = self.exec.scheduler().run(
+            [obligation for _, obligation in pending]) if pending else []
+        for (i, obligation), outcome in zip(pending, outcomes):
             if not outcome.ok:
                 # A crashed/errored evaluation is treated as an
                 # inapplicable candidate: the chain must never depend on
-                # a state we could not measure.
-                results.append(StateEvaluation(
+                # a state we could not measure.  Never cached -- a
+                # transient fault must not poison later replans.
+                results[i] = StateEvaluation(
                     applicable=False,
                     reason=f"evaluation {outcome.status}: "
-                           f"{outcome.error or ''}"))
+                           f"{outcome.error or ''}")
             else:
-                results.append(StateEvaluation.from_json(outcome.value))
+                results[i] = StateEvaluation.from_json(outcome.value)
+                if self._cache is not None:
+                    self._cache.put_evaluation(obligation.cache_key,
+                                               outcome.value)
         return results
 
     def _obligation(self, state: PlanState, candidate: Candidate,
@@ -350,10 +440,20 @@ class Planner:
 
     def _measure_root(self, root_fp: str) -> dict:
         self._evaluations += 1
-        return evaluate_candidate(
+        key = make_key(PLAN_EVAL, root_fp, "<root>", self._reference_fp,
+                       "None",
+                       f"probe:{self.probe_tree_bytes}:{self.probe_vcs}")
+        if self._cache is not None:
+            cached = self._cache.get_evaluation(key)
+            if cached is not None:
+                return cached
+        value = evaluate_candidate(
             self.typed.package, root_fp, None, self.reference,
             probe=True, probe_tree_bytes=self.probe_tree_bytes,
             probe_vcs=self.probe_vcs)
+        if self._cache is not None:
+            self._cache.put_evaluation(key, value)
+        return value
 
     # -- helpers ------------------------------------------------------------
 

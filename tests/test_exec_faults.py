@@ -371,8 +371,12 @@ class TestDegradation:
                             FlakySubmitPool)
         telemetry = Telemetry()
         obs = [_faulty_ob(tmp_path, f"d{i}", (), i) for i in range(4)]
+        # batch_size=1: per-obligation submissions, so the injected
+        # third-submit refusal is reachable (batched dispatch would fold
+        # all four obligations into the two accepted submissions).
         outcomes = _scheduler(backend="thread", telemetry=telemetry,
-                              on_backend_failure="degrade").run(obs)
+                              on_backend_failure="degrade",
+                              batch_size=1).run(obs)
         assert [o.value for o in outcomes] == [0, 1, 2, 3]
         assert telemetry.stats().degraded == 1
         # every obligation ran exactly once despite the backend switch
@@ -588,3 +592,104 @@ class TestRunnerFlags:
         with pytest.raises(SystemExit, match="on-backend-failure"):
             runner._parse_on_backend_failure(
                 ["--on-backend-failure", "panic"])
+
+
+# ---------------------------------------------------------------------------
+# Batched dispatch under faults (DESIGN.md §18)
+# ---------------------------------------------------------------------------
+
+class TestBatchedChaos:
+    def test_crasher_inside_batch_blames_members_once(self, tmp_path):
+        """A worker crash takes its whole batch down: every member is
+        blamed once (one strike, never quarantine-worthy alone), then
+        the survivors re-run solo and succeed."""
+        telemetry = Telemetry()
+        obs = [_faulty_ob(tmp_path, f"b{i}",
+                          ("crash",) if i == 2 else (), i * 10)
+               for i in range(8)]
+        outcomes = _scheduler(telemetry=telemetry,
+                              batch_size=4).run(obs)
+        assert [o.value for o in outcomes] == [i * 10 for i in range(8)]
+        assert all(o.ok for o in outcomes)
+        stats = telemetry.stats()
+        assert stats.batched >= 1
+        # every member of the broken batch takes the blame...
+        assert stats.crashes >= 2
+        # ...but a single collective strike never quarantines anyone
+        assert stats.quarantined == 0
+        assert stats.retried_ok >= 1
+
+    def test_double_crasher_in_batch_quarantined_innocents_ok(
+            self, tmp_path):
+        """The solo re-run after a broken batch is the second strike for
+        a persistent crasher: it is quarantined there, while its batch
+        mates -- innocent of both crashes -- all complete."""
+        telemetry = Telemetry()
+        obs = [_faulty_ob(tmp_path, f"p{i}",
+                          ("crash",) * 8 if i == 1 else (), i)
+               for i in range(8)]
+        outcomes = _scheduler(telemetry=telemetry,
+                              batch_size=4).run(obs)
+        assert outcomes[1].status == "crashed"
+        assert "quarantined" in outcomes[1].error
+        for i in (0, 2, 3, 4, 5, 6, 7):
+            assert outcomes[i].ok and outcomes[i].value == i, i
+        stats = telemetry.stats()
+        assert stats.quarantined == 1
+        assert stats.crashes >= 2
+
+    def test_transient_raise_inside_batch_retries_in_place(self, tmp_path):
+        """A member raising a transient error is retried inside the
+        worker's batch loop -- the batch is not broken up and nobody
+        else is blamed."""
+        telemetry = Telemetry()
+        obs = [_faulty_ob(tmp_path, f"r{i}",
+                          ("raise",) if i == 3 else (), i)
+               for i in range(6)]
+        outcomes = _scheduler(telemetry=telemetry,
+                              batch_size=6, jobs=1).run(obs)
+        assert [o.value for o in outcomes] == list(range(6))
+        stats = telemetry.stats()
+        assert stats.retried_ok == 1
+        assert stats.crashes == 0
+
+    def test_wedged_batch_times_out_every_member(self, monkeypatch,
+                                                 tmp_path):
+        """A batch whose worker wedges past the scaled fallback deadline
+        is abandoned wholesale: every member times out (no silent
+        drops), and healthy work elsewhere still completes."""
+        if not hasattr(signal, "SIGALRM"):
+            pytest.skip("no SIGALRM on this platform")
+        monkeypatch.setattr(ObligationScheduler,
+                            "TIMEOUT_FALLBACK_SLACK", 0.3)
+        telemetry = Telemetry()
+        wedged = [Obligation(kind="test", label=f"w{i}",
+                             thunk=lambda: "unused",
+                             payload=CallPayload(_hang_ignoring_alarm,
+                                                 (6.0,)))
+                  for i in range(2)]
+        healthy = [_faulty_ob(tmp_path, f"h{i}", (), i) for i in range(2)]
+        outcomes = _scheduler(telemetry=telemetry, timeout_seconds=0.2,
+                              batch_size=2, jobs=2).run(wedged + healthy)
+        assert [o.status for o in outcomes[:2]] == ["timed_out"] * 2
+        assert all(o.ok for o in outcomes[2:])
+        assert telemetry.stats().abandoned_workers >= 1
+
+    def test_batched_verdicts_identical_to_unbatched_under_faults(
+            self, tmp_path):
+        """The §12 discipline extended to §18: the same fault schedule
+        produces bit-identical outcome keys whether dispatch is batched
+        or per-obligation."""
+        runs = {}
+        for batch_size in (1, 4):
+            state = tmp_path / f"bs{batch_size}"
+            state.mkdir()
+            obs = [_faulty_ob(state, f"d{i}",
+                              {1: ("raise",), 4: ("crash",),
+                               6: ("crash",) * 8}.get(i, ()), i)
+                   for i in range(10)]
+            outcomes = _scheduler(telemetry=Telemetry(), on_error="record",
+                                  batch_size=batch_size).run(obs)
+            runs[batch_size] = [(o.obligation.label, o.status, o.value,
+                                 o.error is None) for o in outcomes]
+        assert runs[1] == runs[4]

@@ -134,6 +134,25 @@ class TestRemoteScheduling:
             assert served_by <= {"worker=w0", "worker=w1"}
             assert served_by
 
+    def test_batched_dispatch_identical_to_unbatched(self):
+        """§18 differential gate, remote edition: the same obligations
+        produce identical outcomes whether the farm leases them one at a
+        time or in batched units, and batching is visibly engaged."""
+        with farm(2) as addresses:
+            runs, telemetry = {}, {}
+            for batch_size in (1, 8):
+                telemetry[batch_size] = Telemetry()
+                outcomes = _scheduler(
+                    addresses, telemetry=telemetry[batch_size],
+                    batch_size=batch_size).run(
+                    [_ob(f"i{i}", CallPayload(_square, (i,)))
+                     for i in range(12)])
+                runs[batch_size] = [(o.status, o.value) for o in outcomes]
+            assert runs[1] == runs[8] == [("ok", i * i) for i in range(12)]
+            assert telemetry[1].stats().batched == 0
+            assert telemetry[8].stats().batched >= 1
+            assert telemetry[8].stats().batch_items >= 4
+
     def test_groups_chain_serially(self):
         with farm(2) as addresses:
             outcomes = _scheduler(addresses).run(
@@ -331,6 +350,56 @@ class TestRemoteHandshake:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait()
+
+    def test_previous_protocol_version_rejected(self):
+        """Protocol 3 added the batched lease generation; a version-2
+        hello therefore cannot be grandfathered in -- the worker would
+        sit on ``lease_batch`` messages it cannot decode."""
+        assert PROTOCOL_VERSION >= 3
+        coordinator = RemoteCoordinator(listen="127.0.0.1:0")
+        coordinator.start()
+        try:
+            link = self._dial(coordinator)
+            link.send({"op": "hello", "protocol": 2,
+                       "name": "relic", "pid": 1})
+            reply = link.recv(timeout=5.0)
+            assert reply["reply"] == "error"
+            assert reply["code"] == "protocol_mismatch"
+            link.close()
+        finally:
+            coordinator.stop()
+
+    def test_old_version_worker_process_exits_cleanly(self):
+        """End to end: a worker binary from before the batching protocol
+        (simulated by pinning ``PROTOCOL_VERSION = 2`` before the worker
+        module binds it) dials a current coordinator and exits
+        ``REJECTED_EXIT`` -- a clean, diagnosable rejection rather than
+        a hang or a garbled lease."""
+        import subprocess
+        import sys as _sys
+        coordinator = RemoteCoordinator(listen="127.0.0.1:0")
+        coordinator.start()
+        script = (
+            "import sys, repro.protocol as protocol\n"
+            "protocol.PROTOCOL_VERSION = 2\n"
+            "from repro.exec.remote import worker\n"
+            "sys.exit(worker.main(['--connect', sys.argv[1],"
+            " '--name', 'relic']))\n")
+        src = os.path.join(ROOT, "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src, ROOT] + ([env["PYTHONPATH"]]
+                           if env.get("PYTHONPATH") else []))
+        try:
+            proc = subprocess.Popen(
+                [_sys.executable, "-c", script,
+                 coordinator.bound_address], env=env)
+            assert proc.wait(timeout=20.0) == REJECTED_EXIT
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            coordinator.stop()
 
 
 class TestRemoteFailureMatrix:
